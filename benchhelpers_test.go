@@ -1,0 +1,14 @@
+package gatewords
+
+import (
+	"gatewords/internal/cone"
+	"gatewords/internal/netlist"
+)
+
+// Thin indirections so bench_test.go reads cleanly.
+
+func coneInterner() *cone.Interner { return cone.NewInterner() }
+
+func coneBuilder(nl *netlist.Netlist, it *cone.Interner) *cone.Builder {
+	return cone.NewBuilder(nl, it, cone.DefaultDepth)
+}

@@ -1,0 +1,45 @@
+// Command benchgen emits the generated ITC99-analog benchmark suite as
+// structural Verilog files, one per benchmark, so the circuits can be
+// inspected or fed to external tools.
+//
+// Usage:
+//
+//	benchgen [-out DIR] [bench ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gatewords"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = gatewords.BenchmarkNames()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		d, err := gatewords.GenerateBenchmark(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, d.Name()+".v")
+		if err := d.WriteVerilogFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		st := d.Stats()
+		fmt.Printf("%-24s %7d nets %7d gates %5d FFs\n", path, st.Nets, st.Gates+st.DFFs, st.DFFs)
+	}
+}

@@ -1,0 +1,65 @@
+// Command netstat prints statistics for a gate-level Verilog netlist and a
+// census of the golden reference words recoverable from its register names.
+//
+// Usage:
+//
+//	netstat [-dot out.dot] design.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gatewords"
+)
+
+func main() {
+	dot := flag.String("dot", "", "also write a Graphviz rendering to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: netstat [-dot out.dot] design.v")
+		os.Exit(2)
+	}
+	d, err := gatewords.ParseVerilogFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
+		os.Exit(1)
+	}
+	st := d.Stats()
+	fmt.Printf("module %s\n", d.Name())
+	fmt.Printf("  nets:       %d\n", st.Nets)
+	fmt.Printf("  gates:      %d\n", st.Gates)
+	fmt.Printf("  flip-flops: %d\n", st.DFFs)
+	fmt.Printf("  inputs:     %d\n", st.PIs)
+	fmt.Printf("  outputs:    %d\n", st.POs)
+
+	refs := d.ReferenceWords()
+	bits := 0
+	for _, r := range refs {
+		bits += len(r.Bits)
+	}
+	fmt.Printf("  reference words: %d", len(refs))
+	if len(refs) > 0 {
+		fmt.Printf(" (avg %.2f bits)", float64(bits)/float64(len(refs)))
+	}
+	fmt.Println()
+	for _, r := range refs {
+		fmt.Printf("    %-20s %2d bits: %s\n", r.Name, len(r.Bits), strings.Join(r.Bits, " "))
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
+			os.Exit(1)
+		}
+		if err := d.WriteDOT(f); err != nil {
+			fmt.Fprintf(os.Stderr, "netstat: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *dot)
+	}
+}

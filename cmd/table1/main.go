@@ -1,0 +1,50 @@
+// Command table1 regenerates Table 1 of DAC'15 "On Using Control Signals
+// for Word-Level Identification in A Gate-Level Netlist": it generates the
+// ITC99-analog benchmarks, runs both the shape-hashing baseline and the
+// control-signal technique, and prints full-found / fragmentation /
+// not-found metrics per benchmark with the paper's numbers alongside.
+//
+// Usage:
+//
+//	table1 [-paper=false] [-depth N] [-maxassign N] [bench ...]
+//
+// With no benchmark arguments every profile (b03a..b18a) runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gatewords/internal/bench"
+	"gatewords/internal/core"
+)
+
+func main() {
+	withPaper := flag.Bool("paper", true, "print the paper's Table 1 numbers alongside measured rows")
+	depth := flag.Int("depth", 0, "fanin-cone depth (default 4)")
+	maxAssign := flag.Int("maxassign", 0, "max simultaneous control assignments (default 2)")
+	noPartial := flag.Bool("nopartial", false, "disable cohesive partial-group emission (ablation)")
+	flag.Parse()
+
+	opt := core.Options{Depth: *depth, MaxAssign: *maxAssign, NoPartialGroups: *noPartial}
+
+	profiles := bench.Profiles
+	if args := flag.Args(); len(args) > 0 {
+		profiles = nil
+		for _, name := range args {
+			p, ok := bench.ProfileByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "table1: unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			profiles = append(profiles, p)
+		}
+	}
+	rows, err := bench.RunAll(profiles, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(bench.FormatTable(rows, *withPaper))
+}

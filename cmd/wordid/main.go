@@ -1,0 +1,147 @@
+// Command wordid identifies words in a flattened gate-level Verilog
+// netlist using the DAC'15 control-signal technique (default) or the
+// shape-hashing baseline, and optionally scores the result against the
+// golden reference words recovered from register names.
+//
+// Usage:
+//
+//	wordid [flags] design.v
+//
+// Flags:
+//
+//	-base          run the shape-hashing baseline instead
+//	-depth N       fanin-cone depth (default 4)
+//	-maxassign N   max simultaneous control assignments (default 2)
+//	-eval          score against reference words from register names
+//	-all           print 1-bit words too
+//	-trace         print the pipeline's decision trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gatewords"
+)
+
+func main() {
+	base := flag.Bool("base", false, "run the shape-hashing baseline")
+	fn := flag.Bool("func", false, "run the functional (truth-table) matcher")
+	depth := flag.Int("depth", 0, "fanin-cone depth (default 4)")
+	maxAssign := flag.Int("maxassign", 0, "max simultaneous control assignments (default 2)")
+	eval := flag.Bool("eval", false, "evaluate against golden reference words")
+	all := flag.Bool("all", false, "print single-bit words too")
+	trace := flag.Bool("trace", false, "print the decision trace")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	graph := flag.String("graph", "", "write the word-level dataflow graph (after propagation) to this DOT file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wordid [flags] design.v")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	d, err := gatewords.ParseVerilogFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		st := d.Stats()
+		fmt.Printf("%s: %d nets, %d gates, %d flip-flops, %d PIs, %d POs\n",
+			d.Name(), st.Nets, st.Gates, st.DFFs, st.PIs, st.POs)
+	}
+	start := time.Now()
+
+	var rep *gatewords.Report
+	switch {
+	case *base:
+		rep, err = gatewords.IdentifyBaseline(d, *depth)
+	case *fn:
+		rep, err = gatewords.IdentifyFunctional(d, *depth, 0)
+	default:
+		rep, err = gatewords.Identify(d, gatewords.Options{
+			Depth:     *depth,
+			MaxAssign: *maxAssign,
+			Trace:     *trace,
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	if *jsonOut {
+		var evp *gatewords.Evaluation
+		if *eval {
+			ev := gatewords.Evaluate(d, rep)
+			evp = &ev
+		}
+		if err := gatewords.WriteJSON(os.Stdout, d, rep, evp, *all, elapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trace {
+		for _, line := range rep.Trace {
+			fmt.Println("#", line)
+		}
+	}
+
+	words := rep.Words
+	if !*all {
+		words = rep.MultiBitWords()
+	}
+	fmt.Printf("technique %s: %d words\n", rep.Technique, len(words))
+	for _, w := range words {
+		mark := " "
+		if w.Verified {
+			mark = "*"
+		}
+		line := fmt.Sprintf("%s %2d bits: %s", mark, len(w.Bits), strings.Join(w.Bits, " "))
+		if len(w.ControlSignals) > 0 {
+			var assigns []string
+			for _, c := range w.ControlSignals {
+				v := 0
+				if w.Assignment[c] {
+					v = 1
+				}
+				assigns = append(assigns, fmt.Sprintf("%s=%d", c, v))
+			}
+			line += "  [controls: " + strings.Join(assigns, ", ") + "]"
+		}
+		fmt.Println(line)
+	}
+	if len(rep.ControlSignalsUsed) > 0 {
+		fmt.Printf("control signals used: %s\n", strings.Join(rep.ControlSignalsUsed, ", "))
+	}
+
+	if *eval {
+		ev := gatewords.Evaluate(d, rep)
+		fmt.Printf("reference words: %d  fully found: %d (%.1f%%)  partially found: %d (frag %.2f)  not found: %d (%.1f%%)\n",
+			ev.ReferenceWords, ev.FullyFound, ev.FullyFoundPct,
+			ev.PartiallyFound, ev.FragmentationRate, ev.NotFound, ev.NotFoundPct)
+	}
+
+	if *graph != "" {
+		var graphWords [][]string
+		for _, pw := range gatewords.Propagate(d, rep, gatewords.PropagateOptions{}) {
+			graphWords = append(graphWords, pw.Bits)
+		}
+		f, err := os.Create(*graph)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
+			os.Exit(1)
+		}
+		if err := gatewords.WriteWordGraphDOT(f, d, graphWords); err != nil {
+			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *graph)
+	}
+}

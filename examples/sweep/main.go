@@ -1,0 +1,70 @@
+// Sweep explores the technique's two main knobs on a generated benchmark:
+// the fanin-cone depth (the paper argues structural similarity survives only
+// 2–4 levels of logic) and the simultaneous-assignment budget (the paper
+// uses 1 then 2; 3 is its future-work extension). The output is a matrix of
+// fully-found percentages plus the cohesion-rule ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gatewords"
+)
+
+func main() {
+	benchName := flag.String("bench", "b18", "benchmark to sweep")
+	flag.Parse()
+
+	d, err := gatewords.GenerateBenchmark(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("benchmark %s: %d gates, %d FFs, %d reference words\n\n",
+		d.Name(), st.Gates+st.DFFs, st.DFFs, len(d.ReferenceWords()))
+
+	fmt.Println("fully-found %% by cone depth x assignment budget:")
+	fmt.Printf("%8s", "")
+	for _, ma := range []int{1, 2, 3} {
+		fmt.Printf("  maxassign=%d", ma)
+	}
+	fmt.Println()
+	for _, depth := range []int{2, 3, 4, 5} {
+		fmt.Printf("depth=%-2d", depth)
+		for _, ma := range []int{1, 2, 3} {
+			rep, err := gatewords.Identify(d, gatewords.Options{Depth: depth, MaxAssign: ma})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ev := gatewords.Evaluate(d, rep)
+			fmt.Printf("  %10.1f%%", ev.FullyFoundPct)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncohesive partial-group emission (Theta rule) ablation at depth 4:")
+	for _, off := range []bool{false, true} {
+		rep, err := gatewords.Identify(d, gatewords.Options{DisablePartialGroups: off})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev := gatewords.Evaluate(d, rep)
+		label := "on "
+		if off {
+			label = "off"
+		}
+		fmt.Printf("  theta-rule %s: full %.1f%%  frag %.2f  notfound %.1f%%\n",
+			label, ev.FullyFoundPct, ev.FragmentationRate, ev.NotFoundPct)
+	}
+
+	fmt.Println("\nbaseline for reference:")
+	rep, err := gatewords.IdentifyBaseline(d, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := gatewords.Evaluate(d, rep)
+	fmt.Printf("  shape-hashing: full %.1f%%  frag %.2f  notfound %.1f%%\n",
+		ev.FullyFoundPct, ev.FragmentationRate, ev.NotFoundPct)
+}

@@ -1,0 +1,285 @@
+package gatewords
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyModule = `
+module tiny (a, b, s, s2, \w_reg[0] , \w_reg[1] );
+  input a, b, s, s2;
+  output \w_reg[0] , \w_reg[1] ;
+  wire x0, x1, y0, y1, d0, d1;
+  NAND2 gx0 (x0, a, s);
+  NAND2 gy0 (y0, b, s2);
+  NAND2 gx1 (x1, b, s);
+  NAND2 gy1 (y1, a, s2);
+  NAND2 gb0 (d0, x0, y0);
+  NAND2 gb1 (d1, x1, y1);
+  DFF ff0 (\w_reg[0] , d0);
+  DFF ff1 (\w_reg[1] , d1);
+endmodule
+`
+
+func TestParseAndStats(t *testing.T) {
+	d, err := ParseVerilogString("tiny.v", tinyModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "tiny" {
+		t.Errorf("name %q", d.Name())
+	}
+	st := d.Stats()
+	if st.DFFs != 2 || st.Gates != 6 || st.PIs != 4 || st.POs != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	_, err := ParseVerilogString("bad.v", "module m (a;")
+	if err == nil {
+		t.Fatal("bad module accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.v") {
+		t.Errorf("error lacks file name: %v", err)
+	}
+}
+
+func TestReferenceWords(t *testing.T) {
+	d, err := ParseVerilogString("tiny.v", tinyModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := d.ReferenceWords()
+	if len(refs) != 1 || refs[0].Name != "w_reg" {
+		t.Fatalf("refs: %+v", refs)
+	}
+	if refs[0].Bits[0] != "d0" || refs[0].Bits[1] != "d1" {
+		t.Errorf("bits: %v (must be D-input nets)", refs[0].Bits)
+	}
+}
+
+func TestIdentifyAndEvaluate(t *testing.T) {
+	d, err := ParseVerilogString("tiny.v", tinyModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	if ev.ReferenceWords != 1 || ev.FullyFound != 1 {
+		t.Errorf("evaluation: %+v", ev)
+	}
+	if ev.PerWord["w_reg"] != "fully-found" {
+		t.Errorf("per-word: %+v", ev.PerWord)
+	}
+	base, err := IdentifyBaseline(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Technique != "shape-hashing" {
+		t.Errorf("technique %q", base.Technique)
+	}
+	bev := Evaluate(d, base)
+	if bev.FullyFound != 1 {
+		t.Errorf("baseline on uniform word: %+v", bev)
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	d, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	if ev.FullyFound != ev.ReferenceWords {
+		t.Fatalf("figure 1: %d/%d fully found", ev.FullyFound, ev.ReferenceWords)
+	}
+	if len(rep.ControlSignalsUsed) == 0 {
+		t.Error("no control signals used on Figure 1")
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("trace requested but empty")
+	}
+	base, err := IdentifyBaseline(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bev := Evaluate(d, base)
+	if bev.FullyFound >= ev.FullyFound {
+		t.Errorf("baseline (%d) must trail the technique (%d) on Figure 1",
+			bev.FullyFound, ev.FullyFound)
+	}
+}
+
+func TestReduceFacade(t *testing.T) {
+	d, err := GenerateBenchmark("b08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignment := map[string]bool{}
+	for _, w := range rep.Words {
+		for n, v := range w.Assignment {
+			assignment[n] = v
+		}
+	}
+	if len(assignment) == 0 {
+		t.Fatal("no assignments harvested from b08")
+	}
+	reduced, err := Reduce(d, assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Stats().Gates >= d.Stats().Gates {
+		t.Error("reduction did not remove gates")
+	}
+	// The §2.1 integration claim: the baseline improves on the reduced
+	// circuit.
+	before, _ := IdentifyBaseline(d, 0)
+	after, _ := IdentifyBaseline(reduced, 0)
+	if Evaluate(reduced, after).FullyFound <= Evaluate(d, before).FullyFound {
+		t.Error("baseline did not improve on the reduced circuit")
+	}
+}
+
+func TestReduceUnknownNet(t *testing.T) {
+	d, err := ParseVerilogString("tiny.v", tinyModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reduce(d, map[string]bool{"ghost": true}); err == nil {
+		t.Error("unknown net accepted")
+	}
+}
+
+func TestGenerateBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 12 {
+		t.Fatalf("benchmarks: %v", names)
+	}
+	if _, err := GenerateBenchmark("b03"); err != nil {
+		t.Errorf("short name: %v", err)
+	}
+	if _, err := GenerateBenchmark("bogus"); err == nil {
+		t.Error("bogus benchmark accepted")
+	}
+}
+
+func TestWriteVerilogRoundTrip(t *testing.T) {
+	d, err := GenerateBenchmark("b03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := d.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilogString("b03.v", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != d.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", back.Stats(), d.Stats())
+	}
+	var dot strings.Builder
+	if err := d.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestMultiBitWords(t *testing.T) {
+	d, err := ParseVerilogString("tiny.v", tinyModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rep.MultiBitWords() {
+		if len(w.Bits) < 2 {
+			t.Error("MultiBitWords returned a singleton")
+		}
+	}
+}
+
+func TestOptionsAblations(t *testing.T) {
+	d, err := GenerateBenchmark("b08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := Identify(d, Options{MaxAssign: 1, DisablePartialGroups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evF := Evaluate(d, full)
+	evR := Evaluate(d, restricted)
+	if evR.FullyFound > evF.FullyFound {
+		t.Errorf("restricting options improved results: %d > %d", evR.FullyFound, evF.FullyFound)
+	}
+	if evR.FullyFound == evF.FullyFound {
+		t.Error("b08 contains a pair-assignment word; MaxAssign=1 must lose it")
+	}
+}
+
+func TestParseVerilogHierarchy(t *testing.T) {
+	src := `
+module cell2 (a, b, y);
+  input a, b;
+  output y;
+  NAND2 g (y, a, b);
+endmodule
+module main2 (p, q, r, \acc_reg[0] , \acc_reg[1] );
+  input p, q, r;
+  output \acc_reg[0] , \acc_reg[1] ;
+  wire d0, d1;
+  cell2 u0 (.a(p), .b(q), .y(d0));
+  cell2 u1 (.a(q), .b(r), .y(d1));
+  DFF f0 (\acc_reg[0] , d0);
+  DFF f1 (\acc_reg[1] , d1);
+endmodule
+`
+	d, err := ParseVerilogHierarchy("hier.v", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "main2" {
+		t.Errorf("top = %q", d.Name())
+	}
+	st := d.Stats()
+	if st.Gates != 2 || st.DFFs != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	if ev.FullyFound != 1 {
+		t.Errorf("flattened word not found: %+v", ev)
+	}
+	// Explicit top selection.
+	if _, err := ParseVerilogHierarchy("hier.v", src, "cell2"); err != nil {
+		t.Errorf("explicit top: %v", err)
+	}
+	if _, err := ParseVerilogHierarchy("hier.v", src, "nope"); err == nil {
+		t.Error("bogus top accepted")
+	}
+}

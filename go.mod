@@ -1,0 +1,3 @@
+module gatewords
+
+go 1.22

@@ -1,0 +1,100 @@
+package gatewords
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenFigure1File parses the stored Figure-1 netlist and checks it
+// behaves identically to the in-memory circuit (file-based end-to-end
+// path).
+func TestGoldenFigure1File(t *testing.T) {
+	ensureFigure1Testdata(t)
+	d, err := ParseVerilogFile("testdata/figure1.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	if ev.ReferenceWords != 2 || ev.FullyFound != 2 {
+		t.Errorf("figure1.v: %+v", ev)
+	}
+	if len(rep.ControlSignalsUsed) == 0 {
+		t.Error("no control signals used on the golden figure-1 file")
+	}
+}
+
+func ensureFigure1Testdata(t *testing.T) {
+	t.Helper()
+	if _, err := os.Stat("testdata/figure1.v"); err == nil {
+		return
+	}
+	d, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteVerilogFile("testdata/figure1.v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenSynopsysStyle parses the hand-written drive-strength-flavored
+// netlist (NAND2X1 cells, _N_ register naming, named pins with clock pins
+// to ignore) and pins the full expected outcome.
+func TestGoldenSynopsysStyle(t *testing.T) {
+	d, err := ParseVerilogFile("testdata/counter_style.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.DFFs != 7 {
+		t.Fatalf("stats: %+v", st)
+	}
+	refs := d.ReferenceWords()
+	if len(refs) != 2 || refs[0].Name != "load_reg" || refs[1].Name != "sum_reg" {
+		t.Fatalf("refs: %+v", refs)
+	}
+
+	// Baseline: the load word fragments ({bit0,bit1} match, 2/3 split off).
+	base, err := IdentifyBaseline(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bev := Evaluate(d, base)
+	if bev.PerWord["load_reg"] != "partially-found" {
+		t.Errorf("baseline load_reg: %s", bev.PerWord["load_reg"])
+	}
+	if bev.PerWord["sum_reg"] != "fully-found" {
+		t.Errorf("baseline sum_reg: %s", bev.PerWord["sum_reg"])
+	}
+
+	// The technique recovers the load word through k1 = 0.
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	if ev.FullyFound != 2 {
+		t.Fatalf("ours: %+v (per word %v)", ev, ev.PerWord)
+	}
+	foundK1 := false
+	for _, w := range rep.Words {
+		for _, c := range w.ControlSignals {
+			if c == "k1" {
+				foundK1 = true
+				if w.Assignment["k1"] {
+					t.Error("k1 must be assigned 0")
+				}
+			}
+			if c == "dec" {
+				t.Error("dominated net dec must not be a control signal")
+			}
+		}
+	}
+	if !foundK1 {
+		t.Errorf("k1 not used; used: %v", rep.ControlSignalsUsed)
+	}
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"testing"
+
+	"gatewords/internal/core"
+	"gatewords/internal/metrics"
+	"gatewords/internal/shapehash"
+)
+
+// runSingleWord generates a profile with a single word of the given spec
+// and returns the per-word outcome under both techniques plus the pipeline
+// result for control-signal assertions.
+func runSingleWord(t *testing.T, spec WordSpec, seed int64) (base, ours metrics.WordResult, res *core.Result) {
+	t.Helper()
+	p := Profile{Name: "one", Seed: seed, Words: []WordSpec{spec}}
+	gen, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Refs) != 1 {
+		t.Fatalf("want 1 reference word, got %d", len(gen.Refs))
+	}
+	b := shapehash.Identify(gen.NL, 0)
+	base = metrics.Evaluate(gen.Refs, b.Words).Words[0]
+	res = core.Identify(gen.NL, core.Options{})
+	ours = metrics.Evaluate(gen.Refs, res.GeneratedWords()).Words[0]
+	return base, ours, res
+}
+
+func TestClassA(t *testing.T) {
+	for variant := 0; variant < 5; variant++ {
+		base, ours, _ := runSingleWord(t, WordSpec{Width: 6, Class: ClassA, Variant: variant}, int64(variant)+1)
+		if base.Outcome != metrics.FullyFound {
+			t.Errorf("variant %d: base %s", variant, base.Outcome)
+		}
+		if ours.Outcome != metrics.FullyFound {
+			t.Errorf("variant %d: ours %s", variant, ours.Outcome)
+		}
+	}
+}
+
+func TestClassB1(t *testing.T) {
+	base, ours, res := runSingleWord(t, WordSpec{Width: 6, Class: ClassB1, SharedPrefix: 3}, 2)
+	if base.Outcome != metrics.PartiallyFound {
+		t.Errorf("base %s, want partially-found", base.Outcome)
+	}
+	if ours.Outcome != metrics.FullyFound {
+		t.Errorf("ours %s, want fully-found", ours.Outcome)
+	}
+	if len(res.UsedControlSignals) != 1 {
+		t.Errorf("used control signals = %d, want 1", len(res.UsedControlSignals))
+	}
+}
+
+func TestClassB2NeedsPair(t *testing.T) {
+	base, ours, res := runSingleWord(t, WordSpec{Width: 6, Class: ClassB2}, 3)
+	if base.Outcome != metrics.PartiallyFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.FullyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+	if len(res.UsedControlSignals) != 2 {
+		t.Errorf("used control signals = %d, want the pair", len(res.UsedControlSignals))
+	}
+	// With MaxAssign=1 and no cohesion rescue the word must not verify.
+	p := Profile{Name: "one", Seed: 3, Words: []WordSpec{{Width: 6, Class: ClassB2}}}
+	gen, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := core.Identify(gen.NL, core.Options{MaxAssign: 1, NoPartialGroups: true})
+	ev := metrics.Evaluate(gen.Refs, r1.GeneratedWords())
+	if ev.Words[0].Outcome == metrics.FullyFound {
+		t.Error("pair-requiring word fully found with MaxAssign=1 and no cohesion")
+	}
+}
+
+func TestClassBP(t *testing.T) {
+	base, ours, res := runSingleWord(t, WordSpec{Width: 4, Class: ClassBP, SharedPrefix: 2}, 4)
+	if base.Outcome != metrics.PartiallyFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.FullyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+	if len(res.UsedControlSignals) != 0 {
+		t.Errorf("cohesion-only class must use no control signals, used %d", len(res.UsedControlSignals))
+	}
+}
+
+func TestClassBPPrefix1IsBaseNotFound(t *testing.T) {
+	base, ours, _ := runSingleWord(t, WordSpec{Width: 3, Class: ClassBP, SharedPrefix: 1}, 5)
+	if base.Outcome != metrics.NotFound {
+		t.Errorf("base %s, want not-found", base.Outcome)
+	}
+	if ours.Outcome != metrics.FullyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+}
+
+func TestClassCP(t *testing.T) {
+	base, ours, _ := runSingleWord(t, WordSpec{Width: 5, Class: ClassCP}, 6)
+	if base.Outcome != metrics.NotFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.PartiallyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+}
+
+func TestClassC2(t *testing.T) {
+	base, ours, res := runSingleWord(t, WordSpec{Width: 5, Class: ClassC2}, 7)
+	if base.Outcome != metrics.NotFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.PartiallyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+	if len(res.UsedControlSignals) != 1 {
+		t.Errorf("used = %d, want 1", len(res.UsedControlSignals))
+	}
+}
+
+func TestClassCtr(t *testing.T) {
+	base, ours, res := runSingleWord(t, WordSpec{Width: 6, Class: ClassCtr}, 8)
+	if base.Outcome != metrics.PartiallyFound && base.Outcome != metrics.NotFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.PartiallyFound {
+		t.Errorf("ours %s (expected all bits except bit 0 grouped)", ours.Outcome)
+	}
+	if ours.Fragments != 2 {
+		t.Errorf("ours fragments = %d, want 2", ours.Fragments)
+	}
+	if base.Outcome == metrics.PartiallyFound && base.Fragments <= ours.Fragments {
+		t.Errorf("counter: base fragments %d must exceed ours %d", base.Fragments, ours.Fragments)
+	}
+	_ = res
+}
+
+func TestClassShortCtrUsesControl(t *testing.T) {
+	// A 5-bit counter's carry chain fits the cone window, so the shared
+	// low carry is discovered and the word verifies via reduction.
+	_, ours, res := runSingleWord(t, WordSpec{Width: 5, Class: ClassCtr}, 9)
+	if ours.Outcome != metrics.PartiallyFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+	if len(res.UsedControlSignals) != 1 {
+		t.Errorf("short counter: used control signals = %d, want 1 (the carry root)",
+			len(res.UsedControlSignals))
+	}
+}
+
+func TestClassC(t *testing.T) {
+	base, ours, _ := runSingleWord(t, WordSpec{Width: 6, Class: ClassC}, 10)
+	if base.Outcome != metrics.NotFound {
+		t.Errorf("base %s", base.Outcome)
+	}
+	if ours.Outcome != metrics.NotFound {
+		t.Errorf("ours %s", ours.Outcome)
+	}
+}
+
+func TestClassD(t *testing.T) {
+	base, ours, _ := runSingleWord(t, WordSpec{Width: 6, Class: ClassD, Parts: 3}, 11)
+	if base.Outcome != metrics.PartiallyFound || base.Fragments != 3 {
+		t.Errorf("base %s/%d", base.Outcome, base.Fragments)
+	}
+	if ours.Outcome != metrics.PartiallyFound || ours.Fragments != 3 {
+		t.Errorf("ours %s/%d (block-mapped words fragment equally)", ours.Outcome, ours.Fragments)
+	}
+}
+
+func TestClassShift(t *testing.T) {
+	base, ours, _ := runSingleWord(t, WordSpec{Width: 5, Class: ClassShift}, 12)
+	if base.Outcome != metrics.NotFound || ours.Outcome != metrics.NotFound {
+		t.Errorf("shift register: base %s ours %s", base.Outcome, ours.Outcome)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"gatewords/internal/core"
+)
+
+// TestExtensionScanProfiles measures the scan-inserted variants: the scan
+// mux adds one uniform level to every bit's cone, so identification quality
+// must hold up (never worse than Base, and no collapse of fully-found
+// words relative to the scan-free profile).
+func TestExtensionScanProfiles(t *testing.T) {
+	for _, p := range ExtensionProfiles {
+		gen, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := gen.NL.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", p.Name, err)
+		}
+		// Scan nets exist.
+		for _, n := range []string{"scan_en", "scan_in", "scan_out"} {
+			if _, ok := gen.NL.NetByName(n); !ok {
+				t.Errorf("%s: scan net %s missing", p.Name, n)
+			}
+		}
+		row := Measure(gen, core.Options{})
+		if row.Ours.FullyFound < row.Base.FullyFound {
+			t.Errorf("%s: ours worse than base under scan", p.Name)
+		}
+		// Compare with the scan-free baseline profile.
+		base := p
+		base.Name = p.Name[:len(p.Name)-1] + "a"
+		base.Scan = false
+		genBase, err := base.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowBase := Measure(genBase, core.Options{})
+		if row.Ours.FullyFound < rowBase.Ours.FullyFound-1 {
+			t.Errorf("%s: scan insertion cost more than one word: %d vs %d",
+				p.Name, row.Ours.FullyFound, rowBase.Ours.FullyFound)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package bench provides the experimental workloads of the reproduction:
+// the hand-built Figure-1 circuit, deterministic generators for ITC99-analog
+// benchmarks matched to the profiles of DAC'15 Table 1, and the harness
+// that runs the baseline ("Base") and the control-signal technique ("Ours")
+// to regenerate the table.
+//
+// The real ITC99 gate-level netlists are not redistributable inside this
+// repository, so the generators synthesize analog circuits through the
+// internal/rtl + internal/synth flow; DESIGN.md documents why this
+// substitution preserves the behaviors the algorithms key on.
+package bench
+
+import (
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+	"gatewords/internal/synth"
+)
+
+// Figure1Design reproduces the 3-bit word of benchmark b03 shown in the
+// paper's Figure 1. Each bit of register "out" is a 3-input NAND whose
+// first two subtrees (selecting CODA0/CODA1 under decoded controls
+// U202/U255) are similar across bits, while the third subtree combines the
+// shared control signals U201 and U221 differently per bit (selecting
+// RU2/RU3). Assigning U201 = 0 — its controlling value for the NAND gates
+// it feeds — removes every dissimilar subtree and leaves fully similar
+// cones, so the word becomes identifiable; assigning U221 = 0 removes only
+// the first two bits' dissimilar subtrees, as the paper walks through.
+//
+// A second 2-bit register "w2" supplies the U218/U219 nets of the paper's
+// grouping example.
+func Figure1Design() *rtl.Design {
+	nand := func(args ...rtl.BitExpr) rtl.BitExpr { return rtl.BOp{Kind: logic.Nand, Args: args} }
+	in := func(name string, bit int) rtl.BitExpr { return rtl.Bit(name, bit) }
+	w := func(name string) rtl.BitExpr { return rtl.Bit(name, 0) }
+
+	d := &rtl.Design{
+		Name: "figure1",
+		Inputs: []rtl.Signal{
+			{Name: "coda0", Width: 3},
+			{Name: "coda1", Width: 3},
+			{Name: "ru2", Width: 3},
+			{Name: "ru3", Width: 3},
+			{Name: "p", Width: 1}, {Name: "q", Width: 1},
+			{Name: "s", Width: 1}, {Name: "r", Width: 1},
+			{Name: "t", Width: 1}, {Name: "u", Width: 1}, {Name: "v", Width: 1},
+			{Name: "g0", Width: 2}, {Name: "g1", Width: 2},
+		},
+		Wires: []rtl.Wire{
+			// Selector decode feeding the *similar* subtrees (the paper's
+			// U202/U255): never control-signal candidates.
+			{Name: "u202", Width: 1, Bits: []rtl.BitExpr{nand(w("t"), w("u"))}},
+			{Name: "u255", Width: 1, Bits: []rtl.BitExpr{nand(w("t"), w("v"))}},
+			// Common fanin cone of the dissimilar subtrees (the red circle):
+			// U223 feeds both U201 and U221, so it is pruned as dominated.
+			{Name: "u223", Width: 1, Bits: []rtl.BitExpr{nand(w("p"), w("q"))}},
+			{Name: "u201", Width: 1, Bits: []rtl.BitExpr{nand(w("u223"), w("r"))}},
+			{Name: "u221", Width: 1, Bits: []rtl.BitExpr{nand(w("u223"), w("s"))}},
+		},
+		Regs: []*rtl.Reg{
+			{
+				Name:  "out",
+				Width: 3,
+				NextBits: []rtl.BitExpr{
+					nand(
+						nand(in("coda0", 0), w("u202")),
+						nand(in("coda1", 0), w("u255")),
+						nand(in("ru2", 0), w("u221"), w("u201")),
+					),
+					nand(
+						nand(in("coda0", 1), w("u202")),
+						nand(in("coda1", 1), w("u255")),
+						nand(in("ru3", 1), w("u221"), w("u201")),
+					),
+					nand(
+						nand(in("coda0", 2), w("u202")),
+						nand(in("coda1", 2), w("u255")),
+						nand(nand(in("ru3", 2), w("u221")), w("u201")),
+					),
+				},
+			},
+			{
+				Name:  "w2",
+				Width: 2,
+				NextBits: []rtl.BitExpr{
+					nand(in("g0", 0), in("g1", 0), w("u202")),
+					nand(in("g0", 1), in("g1", 1), w("u202")),
+				},
+			},
+		},
+		Outputs: []rtl.Output{
+			{Name: "zo", Expr: rtl.RedOr{A: rtl.Ref{Name: "out"}}},
+			{Name: "z2", Expr: rtl.RedOr{A: rtl.Ref{Name: "w2"}}},
+		},
+	}
+	return d
+}
+
+// Figure1Circuit synthesizes Figure1Design into a gate-level netlist and
+// returns the netlist together with the D-input nets of the 3-bit word.
+func Figure1Circuit() (*netlist.Netlist, []netlist.NetID, error) {
+	res, err := synth.Synthesize(Figure1Design(), synth.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.NL, res.RegRoots["out"], nil
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gatewords/internal/core"
+	"gatewords/internal/metrics"
+	"gatewords/internal/shapehash"
+)
+
+// Row is one measured Table-1 row: both techniques evaluated against the
+// benchmark's golden reference words.
+type Row struct {
+	Name     string
+	Gates    int // combinational gates + flip-flops (the paper's "#gates")
+	Nets     int
+	FFs      int
+	Words    int
+	AvgSize  float64
+	Base     metrics.Report
+	Ours     metrics.Report
+	BaseTime time.Duration
+	OursTime time.Duration
+	// CtrlUsed counts distinct control signals whose assignment produced
+	// emitted words (the paper's "#Control Signals" column); CtrlFound
+	// counts all relevant signals identified.
+	CtrlUsed  int
+	CtrlFound int
+}
+
+// Run generates the profile and evaluates both techniques on it.
+func Run(p Profile, opt core.Options) (Row, error) {
+	gen, err := p.Generate()
+	if err != nil {
+		return Row{}, err
+	}
+	return Measure(gen, opt), nil
+}
+
+// Measure evaluates both techniques on an already generated benchmark.
+func Measure(gen *Generated, opt core.Options) Row {
+	stats := gen.NL.ComputeStats()
+	row := Row{
+		Name:  gen.Profile.Name,
+		Gates: stats.Gates + stats.DFFs,
+		Nets:  gen.NL.NetCount(),
+		FFs:   stats.DFFs,
+		Words: len(gen.Refs),
+	}
+	bits := 0
+	for _, w := range gen.Refs {
+		bits += w.Size()
+	}
+	if len(gen.Refs) > 0 {
+		row.AvgSize = float64(bits) / float64(len(gen.Refs))
+	}
+
+	start := time.Now()
+	base := shapehash.Identify(gen.NL, opt.Depth)
+	row.BaseTime = time.Since(start)
+	row.Base = metrics.Evaluate(gen.Refs, base.Words)
+
+	start = time.Now()
+	ours := core.Identify(gen.NL, opt)
+	row.OursTime = time.Since(start)
+	row.Ours = metrics.Evaluate(gen.Refs, ours.GeneratedWords())
+	row.CtrlUsed = len(ours.UsedControlSignals)
+	row.CtrlFound = len(ours.FoundControlSignals)
+	return row
+}
+
+// RunAll measures every profile.
+func RunAll(profiles []Profile, opt core.Options) ([]Row, error) {
+	rows := make([]Row, 0, len(profiles))
+	for _, p := range profiles {
+		r, err := Run(p, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatTable renders measured rows in the layout of the paper's Table 1.
+// When withPaper is true each benchmark also gets a "paper" reference line.
+func FormatTable(rows []Row, withPaper bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10s %10s %10s %9s %6s\n",
+		"bench", "#gates", "#nets", "#FF", "#words", "avgsize",
+		"technique", "full(%)", "frag", "notfnd(%)", "time(s)", "#ctrl")
+	sb.WriteString(strings.Repeat("-", 118) + "\n")
+	var avgBaseFull, avgOursFull, avgBaseFrag, avgOursFrag, avgBaseNF, avgOursNF float64
+	var avgBaseTime, avgOursTime float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %8d %8d %6d %6d %8.2f | %-9s %10.1f %10.2f %10.1f %9.2f %6s\n",
+			r.Name, r.Gates, r.Nets, r.FFs, r.Words, r.AvgSize,
+			"Base", r.Base.FullyFoundPct(), r.Base.FragmentationRate, r.Base.NotFoundPct(),
+			r.BaseTime.Seconds(), "0")
+		fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10.1f %10.2f %10.1f %9.2f %6d\n",
+			"", "", "", "", "", "",
+			"Ours", r.Ours.FullyFoundPct(), r.Ours.FragmentationRate, r.Ours.NotFoundPct(),
+			r.OursTime.Seconds(), r.CtrlUsed)
+		if withPaper {
+			if pr, ok := PaperRowFor(r.Name); ok {
+				fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10.1f %10.2f %10.1f %9.2f %6s\n",
+					"", "", "", "", "", "",
+					"paperBase", pr.BaseFull, pr.BaseFrag, pr.BaseNF, pr.BaseTime, "0")
+				fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10.1f %10.2f %10.1f %9.2f %6d\n",
+					"", "", "", "", "", "",
+					"paperOurs", pr.OursFull, pr.OursFrag, pr.OursNF, pr.OursTime, pr.CtrlSignals)
+			}
+		}
+		avgBaseFull += r.Base.FullyFoundPct()
+		avgOursFull += r.Ours.FullyFoundPct()
+		avgBaseFrag += r.Base.FragmentationRate
+		avgOursFrag += r.Ours.FragmentationRate
+		avgBaseNF += r.Base.NotFoundPct()
+		avgOursNF += r.Ours.NotFoundPct()
+		avgBaseTime += r.BaseTime.Seconds()
+		avgOursTime += r.OursTime.Seconds()
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		sb.WriteString(strings.Repeat("-", 118) + "\n")
+		fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10.2f %10.3f %10.2f %9.3f %6s\n",
+			"avg", "", "", "", "", "", "Base", avgBaseFull/n, avgBaseFrag/n, avgBaseNF/n, avgBaseTime/n, "")
+		fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10.2f %10.3f %10.2f %9.3f %6s\n",
+			"", "", "", "", "", "", "Ours", avgOursFull/n, avgOursFrag/n, avgOursNF/n, avgOursTime/n, "")
+		if withPaper {
+			fmt.Fprintf(&sb, "%-6s %8s %8s %6s %6s %8s | %-9s %10s %10s %10s %9s %6s\n",
+				"", "", "", "", "", "", "paper", "61.54/71.89", "0.38/0.21", "11.25/8.67", "0.02/19.8", "")
+		}
+	}
+	return sb.String()
+}
+
+// ProfileByName finds a profile ("b03a" or "b03"), searching the Table-1
+// profiles first and then the extension profiles ("b08s", ...).
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name || p.Name == name+"a" {
+			return p, true
+		}
+	}
+	for _, p := range ExtensionProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

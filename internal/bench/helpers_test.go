@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"testing"
+
+	"gatewords/internal/synth"
+)
+
+func mustSynthFigure1(t *testing.T) *synth.Result {
+	t.Helper()
+	res, err := synth.Synthesize(Figure1Design(), synth.Options{})
+	if err != nil {
+		t.Fatalf("synthesize figure1: %v", err)
+	}
+	return res
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"gatewords/internal/core"
+)
+
+// TestLargeProfiles runs the full-size benchmarks (b14a..b18a). It takes a
+// few seconds, so it is skipped under -short.
+func TestLargeProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large benchmarks skipped in -short mode")
+	}
+	for _, p := range Profiles {
+		if p.TargetGates <= 10000 {
+			continue
+		}
+		gen := generated(t, p)
+		if err := gen.NL.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", p.Name, err)
+		}
+		row := Measure(gen, core.Options{})
+		pr, _ := PaperRowFor(p.Name)
+		if row.Ours.FullyFound < row.Base.FullyFound {
+			t.Errorf("%s: ours worse than base", p.Name)
+		}
+		if row.Ours.NotFound > row.Base.NotFound {
+			t.Errorf("%s: ours leaves more unfound than base", p.Name)
+		}
+		diff := row.Ours.FullyFoundPct() - pr.OursFull
+		if diff < -10 || diff > 10 {
+			t.Errorf("%s: ours full %.1f vs paper %.1f", p.Name, row.Ours.FullyFoundPct(), pr.OursFull)
+		}
+	}
+}

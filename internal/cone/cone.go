@@ -1,0 +1,267 @@
+// Package cone implements depth-limited fanin-cone analysis: extraction of a
+// candidate bit's cone, decomposition into second-level subtrees, post-order
+// structural hash keys ("Polish expressions" over gate kinds with
+// lexicographically sorted fanins, DAC'15 §2.3), and the O(k_i+k_j)
+// two-pointer comparison of sorted hash-key lists that classifies subtree
+// pairs as similar or dissimilar.
+//
+// Everything here is written against netlist.View, so the same machinery
+// analyzes both the original circuit and a constant-propagated reduced
+// circuit produced by internal/reduce.
+package cone
+
+import (
+	"sort"
+	"strings"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// KeyID is an interned structural hash key. Two subtrees are structurally
+// similar exactly when their KeyIDs are equal (for keys produced by the same
+// Interner).
+type KeyID int32
+
+// NoKey is the zero KeyID's invalid sentinel.
+const NoKey KeyID = -1
+
+// Interner maps structural key strings to dense IDs and back. A single
+// Interner must be shared by every Builder participating in one analysis so
+// that KeyIDs are comparable across original and reduced circuits.
+type Interner struct {
+	ids  map[string]KeyID
+	strs []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]KeyID)}
+}
+
+// Intern returns the ID for s, allocating one if needed.
+func (it *Interner) Intern(s string) KeyID {
+	if id, ok := it.ids[s]; ok {
+		return id
+	}
+	id := KeyID(len(it.strs))
+	it.strs = append(it.strs, s)
+	it.ids[s] = id
+	return id
+}
+
+// String returns the key string for id.
+func (it *Interner) String(id KeyID) string {
+	if id < 0 || int(id) >= len(it.strs) {
+		return "<nokey>"
+	}
+	return it.strs[id]
+}
+
+// Len returns the number of distinct keys interned so far.
+func (it *Interner) Len() int { return len(it.strs) }
+
+// kindToken returns the single-character token recorded for each node of a
+// post-order traversal. Only the gate type is recorded, per the paper.
+func kindToken(k logic.Kind) byte {
+	switch k {
+	case logic.And:
+		return 'A'
+	case logic.Or:
+		return 'O'
+	case logic.Nand:
+		return 'N'
+	case logic.Nor:
+		return 'R'
+	case logic.Xor:
+		return 'X'
+	case logic.Xnor:
+		return 'E'
+	case logic.Not:
+		return 'I'
+	case logic.Buf:
+		return 'B'
+	case logic.Mux2:
+		return 'M'
+	case logic.Aoi21:
+		return 'P'
+	case logic.Oai21:
+		return 'Q'
+	case logic.DFF:
+		return 'D'
+	}
+	return '?'
+}
+
+// leafToken marks a cone leaf: a primary input, a flip-flop boundary, a
+// constant, or the depth cut. Leaves record no identity, only that the
+// branch ends, keeping the match purely structural.
+const leafToken = "."
+
+// Subtree is one second-level subtree of a bit's fanin cone: the subtree
+// rooted at one input net of the bit's root gate.
+type Subtree struct {
+	Root netlist.NetID // net at the subtree root
+	Key  KeyID
+}
+
+// BitCone is the analyzed fanin cone of one candidate word bit.
+type BitCone struct {
+	Net      netlist.NetID  // the candidate bit (a driven net)
+	RootGate netlist.GateID // gate driving Net (under the view)
+	RootKind logic.Kind     // effective kind of RootGate
+	Subtrees []Subtree      // second-level subtrees, sorted by Key
+	FullKey  KeyID          // key of the entire cone including the root
+}
+
+// Builder computes cones and hash keys against one netlist.View. It
+// memoizes subtree keys per (net, depth), which is what makes whole-design
+// analysis linear in practice despite tree unfolding.
+type Builder struct {
+	view   netlist.View
+	intern *Interner
+	depth  int
+	memo   map[memoKey]KeyID
+	inbuf  []netlist.NetID
+}
+
+type memoKey struct {
+	net   netlist.NetID
+	depth int8
+}
+
+// DefaultDepth is the fanin-cone depth used throughout the paper: similarity
+// beyond 2–4 levels of logic is destroyed by optimization, so 4 levels is
+// the default analysis window.
+const DefaultDepth = 4
+
+// NewBuilder returns a Builder over view with the given cone depth (total
+// levels of logic including the root gate). Builders sharing an analysis
+// must share the Interner.
+func NewBuilder(view netlist.View, intern *Interner, depth int) *Builder {
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	return &Builder{view: view, intern: intern, depth: depth, memo: make(map[memoKey]KeyID)}
+}
+
+// Depth returns the configured cone depth.
+func (b *Builder) Depth() int { return b.depth }
+
+// Interner returns the shared key interner.
+func (b *Builder) Interner() *Interner { return b.intern }
+
+// Bit analyzes the fanin cone of net. It returns nil if the net has no
+// driving combinational gate under the view (primary inputs, FF outputs and
+// simplified-away nets have no cone).
+func (b *Builder) Bit(net netlist.NetID) *BitCone {
+	if _, isConst := b.view.NetConst(net); isConst {
+		return nil
+	}
+	g := b.view.DriverOf(net)
+	if g == netlist.NoGate {
+		return nil
+	}
+	kind := b.view.GateKind(g)
+	if !kind.IsCombinational() {
+		return nil
+	}
+	b.inbuf = b.view.GateInputs(g, b.inbuf[:0])
+	bc := &BitCone{Net: net, RootGate: g, RootKind: kind}
+	bc.Subtrees = make([]Subtree, 0, len(b.inbuf))
+	for _, in := range b.inbuf {
+		bc.Subtrees = append(bc.Subtrees, Subtree{Root: in, Key: b.SubtreeKey(in, b.depth-1)})
+	}
+	sort.Slice(bc.Subtrees, func(i, j int) bool {
+		return b.less(bc.Subtrees[i].Key, bc.Subtrees[j].Key)
+	})
+	// The full-cone key is the root kind over its sorted child keys; since
+	// Subtrees is already sorted in string order this is a direct rebuild.
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for _, st := range bc.Subtrees {
+		sb.WriteString(b.intern.String(st.Key))
+	}
+	sb.WriteByte(kindToken(kind))
+	sb.WriteByte(')')
+	bc.FullKey = b.intern.Intern(sb.String())
+	return bc
+}
+
+// SubtreeKey returns the interned post-order key for the subtree rooted at
+// net, expanded for depth more levels of logic. Depth 0, primary inputs,
+// flip-flop boundaries and constants all yield the leaf key.
+func (b *Builder) SubtreeKey(net netlist.NetID, depth int) KeyID {
+	mk := memoKey{net: net, depth: int8(depth)}
+	if id, ok := b.memo[mk]; ok {
+		return id
+	}
+	id := b.intern.Intern(b.keyString(net, depth))
+	b.memo[mk] = id
+	return id
+}
+
+func (b *Builder) keyString(net netlist.NetID, depth int) string {
+	if depth <= 0 {
+		return leafToken
+	}
+	if _, isConst := b.view.NetConst(net); isConst {
+		return leafToken
+	}
+	g := b.view.DriverOf(net)
+	if g == netlist.NoGate {
+		return leafToken
+	}
+	kind := b.view.GateKind(g)
+	if !kind.IsCombinational() {
+		return leafToken // sequential boundary
+	}
+	ins := b.view.GateInputs(g, nil)
+	childStrs := make([]string, len(ins))
+	for i, in := range ins {
+		childStrs[i] = b.intern.String(b.SubtreeKey(in, depth-1))
+	}
+	// Multiple fanins of a gate are sorted lexicographically (§2.3), making
+	// the key invariant under input pin permutation.
+	sort.Strings(childStrs)
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for _, cs := range childStrs {
+		sb.WriteString(cs)
+	}
+	sb.WriteByte(kindToken(kind))
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// less orders KeyIDs by their underlying key strings, giving every Builder
+// that shares an Interner the same total order.
+func (b *Builder) less(x, y KeyID) bool {
+	return b.intern.String(x) < b.intern.String(y)
+}
+
+// SubtreeNets returns the set of nets contained in the subtree rooted at
+// net, expanded to depth more levels of logic: the root net, every internal
+// net, and boundary (leaf) nets. The result is deduplicated and unordered.
+func (b *Builder) SubtreeNets(net netlist.NetID, depth int) map[netlist.NetID]bool {
+	out := make(map[netlist.NetID]bool)
+	b.collectNets(net, depth, out)
+	return out
+}
+
+func (b *Builder) collectNets(net netlist.NetID, depth int, out map[netlist.NetID]bool) {
+	out[net] = true
+	if depth <= 0 {
+		return
+	}
+	if _, isConst := b.view.NetConst(net); isConst {
+		return
+	}
+	g := b.view.DriverOf(net)
+	if g == netlist.NoGate || !b.view.GateKind(g).IsCombinational() {
+		return
+	}
+	for _, in := range b.view.GateInputs(g, nil) {
+		b.collectNets(in, depth-1, out)
+	}
+}

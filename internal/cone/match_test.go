@@ -1,0 +1,187 @@
+package cone
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// makeBits fabricates BitCones with the given subtree key strings (bypassing
+// netlist construction) so matching logic can be tested in isolation.
+func makeBits(it *Interner, kind logic.Kind, keyLists ...[]string) []*BitCone {
+	var out []*BitCone
+	for i, keys := range keyLists {
+		bc := &BitCone{Net: netlist.NetID(i), RootKind: kind}
+		for _, k := range keys {
+			bc.Subtrees = append(bc.Subtrees, Subtree{Root: netlist.NoNet, Key: it.Intern(k)})
+		}
+		sort.Slice(bc.Subtrees, func(a, b int) bool {
+			return it.String(bc.Subtrees[a].Key) < it.String(bc.Subtrees[b].Key)
+		})
+		full := "("
+		for _, st := range bc.Subtrees {
+			full += it.String(st.Key)
+		}
+		full += ")"
+		bc.FullKey = it.Intern(full)
+		out = append(out, bc)
+	}
+	return out
+}
+
+func TestMatchFull(t *testing.T) {
+	it := NewInterner()
+	bits := makeBits(it, logic.Nand, []string{"x", "y"}, []string{"y", "x"})
+	m := Match(it, bits[0], bits[1])
+	if !m.Full() || m.Matched != 2 || m.Partial() {
+		t.Errorf("full match misclassified: %+v", m)
+	}
+	if !FullMatch(bits[0], bits[1]) {
+		t.Error("FullMatch false on identical key multisets")
+	}
+}
+
+func TestMatchPartial(t *testing.T) {
+	it := NewInterner()
+	bits := makeBits(it, logic.Nand, []string{"x", "y", "z1"}, []string{"x", "y", "z2"})
+	m := Match(it, bits[0], bits[1])
+	if !m.Partial() || m.Matched != 2 {
+		t.Errorf("partial match misclassified: %+v", m)
+	}
+	if len(m.DissimA) != 1 || len(m.DissimB) != 1 {
+		t.Errorf("dissimilar indices: %+v", m)
+	}
+	if got := it.String(bits[0].Subtrees[m.DissimA[0]].Key); got != "z1" {
+		t.Errorf("dissimilar A = %q", got)
+	}
+	if !PartialMatch(it, bits[0], bits[1]) {
+		t.Error("PartialMatch false")
+	}
+}
+
+func TestMatchDisjoint(t *testing.T) {
+	it := NewInterner()
+	bits := makeBits(it, logic.Nand, []string{"a", "b"}, []string{"c", "d"})
+	m := Match(it, bits[0], bits[1])
+	if m.Matched != 0 || m.Full() || m.Partial() {
+		t.Errorf("disjoint match misclassified: %+v", m)
+	}
+	if PartialMatch(it, bits[0], bits[1]) {
+		t.Error("PartialMatch true on disjoint subtrees")
+	}
+}
+
+func TestMatchMultiset(t *testing.T) {
+	// Duplicate keys must match with multiset semantics: {x,x,y} vs {x,y,y}
+	// shares one x and one y.
+	it := NewInterner()
+	bits := makeBits(it, logic.Nand, []string{"x", "x", "y"}, []string{"x", "y", "y"})
+	m := Match(it, bits[0], bits[1])
+	if m.Matched != 2 || len(m.DissimA) != 1 || len(m.DissimB) != 1 {
+		t.Errorf("multiset match: %+v", m)
+	}
+}
+
+func TestMatchRootKindGate(t *testing.T) {
+	it := NewInterner()
+	a := makeBits(it, logic.Nand, []string{"x"})[0]
+	b := makeBits(it, logic.Nor, []string{"x"})[0]
+	if FullMatch(a, b) {
+		t.Error("FullMatch across root kinds")
+	}
+	if PartialMatch(it, a, b) {
+		t.Error("PartialMatch across root kinds")
+	}
+}
+
+// naiveIntersect computes the multiset intersection of the bits' key lists
+// the slow way, as a reference for CommonKeys.
+func naiveIntersect(it *Interner, bits []*BitCone) map[string]int {
+	counts := map[string]int{}
+	for _, st := range bits[0].Subtrees {
+		counts[it.String(st.Key)]++
+	}
+	for _, b := range bits[1:] {
+		cur := map[string]int{}
+		for _, st := range b.Subtrees {
+			cur[it.String(st.Key)]++
+		}
+		for k, c := range counts {
+			if cur[k] < c {
+				counts[k] = cur[k]
+			}
+			if counts[k] == 0 {
+				delete(counts, k)
+			}
+		}
+	}
+	return counts
+}
+
+func TestCommonKeysAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 200; trial++ {
+		it := NewInterner()
+		var lists [][]string
+		nBits := 2 + rng.Intn(4)
+		for i := 0; i < nBits; i++ {
+			n := 1 + rng.Intn(5)
+			keys := make([]string, n)
+			for j := range keys {
+				keys[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			lists = append(lists, keys)
+		}
+		bits := makeBits(it, logic.Nand, lists...)
+		common := CommonKeys(it, bits)
+		got := map[string]int{}
+		for _, k := range common {
+			got[it.String(k)]++
+		}
+		want := naiveIntersect(it, bits)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: common %v want %v (lists %v)", trial, got, want, lists)
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("trial %d: common[%s]=%d want %d (lists %v)", trial, k, got[k], c, lists)
+			}
+		}
+		// Dissimilar + common must partition every bit's subtrees.
+		for _, b := range bits {
+			dis := Dissimilar(it, b, common)
+			if len(dis)+len(common) < len(b.Subtrees) {
+				t.Fatalf("trial %d: dissimilar undercount", trial)
+			}
+			frac := SimilarFraction(it, b, common)
+			wantFrac := float64(len(b.Subtrees)-len(dis)) / float64(len(b.Subtrees))
+			if frac != wantFrac {
+				t.Fatalf("trial %d: SimilarFraction %f want %f", trial, frac, wantFrac)
+			}
+		}
+	}
+}
+
+func TestCommonKeysEmptyInput(t *testing.T) {
+	it := NewInterner()
+	if got := CommonKeys(it, nil); got != nil {
+		t.Errorf("CommonKeys(nil) = %v", got)
+	}
+}
+
+func TestSimilarFractionEdge(t *testing.T) {
+	it := NewInterner()
+	bc := &BitCone{RootKind: logic.Nand}
+	if SimilarFraction(it, bc, nil) != 0 {
+		t.Error("bit without subtrees must report 0")
+	}
+	bits := makeBits(it, logic.Nand, []string{"x", "y"})
+	common := []KeyID{bits[0].Subtrees[0].Key, bits[0].Subtrees[1].Key}
+	if SimilarFraction(it, bits[0], common) != 1.0 {
+		t.Error("fully covered bit must report 1")
+	}
+}

@@ -1,0 +1,559 @@
+// Package core implements the word-identification procedure of DAC'15
+// "On Using Control Signals for Word-Level Identification in A Gate-Level
+// Netlist" (Tashjian & Davoodi) — the flow of the paper's Figure 2:
+//
+//  1. Find potential bits of a word by netlist-file adjacency (§2.2).
+//  2. Within each group, form subgroups of bits with fully or partially
+//     matching fanin-cone structure, remembering the dissimilar subtrees
+//     (§2.3).
+//  3. Identify the relevant control signals among the dissimilar subtrees
+//     (§2.4).
+//  4. Assign feasible values to one, then two (configurably three) control
+//     signals at a time, simplify the circuit by forward/backward constant
+//     propagation, and re-check whether the bits' cones have become fully
+//     similar (§2.5). Successful assignments turn partially matching
+//     subgroups into verified words.
+//
+// Subgroups whose bits remain strongly partially similar (every bit shares
+// at least a Theta fraction of its subtrees with the subgroup's common
+// structure) are still emitted as unverified words: partial-match grouping
+// alone recovers words on benchmarks where no useful control signal exists,
+// matching the paper's b03/b04 rows, which improve on the baseline with
+// zero control signals found.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gatewords/internal/cone"
+	"gatewords/internal/ctrlsig"
+	"gatewords/internal/group"
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/reduce"
+)
+
+// Options configures the pipeline. The zero value selects the paper's
+// settings: cone depth 4, at most two simultaneous control assignments,
+// partial-group emission with cohesion threshold 1/2.
+type Options struct {
+	// Depth is the fanin-cone depth in levels of logic (default 4).
+	Depth int
+	// MaxAssign is the maximum number of control signals assigned
+	// simultaneously, 1..3 (default 2, the paper's setting; 3 implements
+	// the paper's future-work extension).
+	MaxAssign int
+	// Theta is the cohesion threshold for emitting a partially matching
+	// subgroup as an unverified word: every bit must share at least this
+	// fraction of its subtrees with the subgroup's common structure.
+	// Default 0.5.
+	Theta float64
+	// NoPartialGroups disables the Theta rule, so only fully similar
+	// (possibly after reduction) bit sets become words. Ablation knob.
+	NoPartialGroups bool
+	// MaxTrials caps assignment trials per subgroup (default 96).
+	MaxTrials int
+	// MaxControlSignals caps the relevant signals considered per subgroup
+	// (default 8); the paper observes the count per word is small.
+	MaxControlSignals int
+	// DFFInputsOnly restricts candidate bits to flip-flop D inputs.
+	DFFInputsOnly bool
+	// CollectTrace records a human-readable decision log in Result.Trace.
+	CollectTrace bool
+	// Workers sets the number of adjacency groups processed concurrently:
+	// 0 or 1 is sequential; negative selects GOMAXPROCS. Groups are
+	// independent (the netlist is read-only during identification), and
+	// results are merged in group order, so the output is identical to the
+	// sequential run.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = cone.DefaultDepth
+	}
+	if o.MaxAssign <= 0 {
+		o.MaxAssign = 2
+	}
+	if o.MaxAssign > 3 {
+		o.MaxAssign = 3
+	}
+	if o.Theta <= 0 {
+		o.Theta = 0.5
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 96
+	}
+	if o.MaxControlSignals <= 0 {
+		o.MaxControlSignals = 8
+	}
+	return o
+}
+
+// Word is one generated word.
+type Word struct {
+	Bits []netlist.NetID
+	// Verified marks words whose bits' cones are fully similar, either
+	// directly or on the reduced circuit under Assignment.
+	Verified bool
+	// Controls lists the control signals whose assignment produced this
+	// word (empty when no reduction was needed).
+	Controls []netlist.NetID
+	// Assignment is the successful control-value assignment, if any.
+	Assignment map[netlist.NetID]logic.Value
+}
+
+// Stats counts pipeline work for reporting and benchmarks.
+type Stats struct {
+	Groups            int // first-level adjacency groups
+	Subgroups         int // partially/fully matched subgroups
+	CandidateBits     int // bits with analyzable cones
+	Reductions        int // assignment trials propagated
+	ReducedWords      int // words verified through reduction
+	PartialGroupWords int // words emitted by the Theta rule
+}
+
+// Result is the pipeline output.
+type Result struct {
+	Words []Word
+	// UsedControlSignals are the distinct control signals whose assignments
+	// contributed to emitted words (the paper's "#Control Signals" column).
+	UsedControlSignals []netlist.NetID
+	// FoundControlSignals are all distinct relevant control signals
+	// identified, whether or not an assignment helped.
+	FoundControlSignals []netlist.NetID
+	Stats               Stats
+	Trace               []string
+}
+
+// GeneratedWords returns just the bit sets, in emission order, for metric
+// evaluation.
+func (r *Result) GeneratedWords() [][]netlist.NetID {
+	out := make([][]netlist.NetID, len(r.Words))
+	for i, w := range r.Words {
+		out[i] = w.Bits
+	}
+	return out
+}
+
+// Identify runs the full pipeline on nl.
+func Identify(nl *netlist.Netlist, opt Options) *Result {
+	opt = opt.withDefaults()
+	groups := group.Adjacent(nl, group.Options{DFFInputsOnly: opt.DFFInputsOnly})
+
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(groups) > 1 {
+		return identifyParallel(nl, opt, groups, workers)
+	}
+
+	p := newPipeline(nl, opt)
+	p.result.Stats.Groups = len(groups)
+	for _, g := range groups {
+		p.processGroup(g)
+	}
+	p.result.UsedControlSignals = sortedNets(p.used)
+	p.result.FoundControlSignals = sortedNets(p.found)
+	return p.result
+}
+
+func newPipeline(nl *netlist.Netlist, opt Options) *pipeline {
+	p := &pipeline{
+		nl:     nl,
+		opt:    opt,
+		it:     cone.NewInterner(),
+		used:   make(map[netlist.NetID]bool),
+		found:  make(map[netlist.NetID]bool),
+		result: &Result{},
+	}
+	p.b = cone.NewBuilder(nl, p.it, opt.Depth)
+	return p
+}
+
+// identifyParallel fans adjacency groups out over a worker pool. Each
+// worker owns a private interner/builder (hash keys are only ever compared
+// within a group), and per-group results are merged in group order so the
+// output matches the sequential pipeline exactly.
+func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID, workers int) *Result {
+	perGroup := make([]*Result, len(groups))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range work {
+				p := newPipeline(nl, opt)
+				p.processGroup(groups[gi])
+				p.result.UsedControlSignals = sortedNets(p.used)
+				p.result.FoundControlSignals = sortedNets(p.found)
+				perGroup[gi] = p.result
+			}
+		}()
+	}
+	for gi := range groups {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+
+	merged := &Result{}
+	merged.Stats.Groups = len(groups)
+	used := make(map[netlist.NetID]bool)
+	found := make(map[netlist.NetID]bool)
+	for _, r := range perGroup {
+		merged.Words = append(merged.Words, r.Words...)
+		merged.Trace = append(merged.Trace, r.Trace...)
+		merged.Stats.Subgroups += r.Stats.Subgroups
+		merged.Stats.CandidateBits += r.Stats.CandidateBits
+		merged.Stats.Reductions += r.Stats.Reductions
+		merged.Stats.ReducedWords += r.Stats.ReducedWords
+		merged.Stats.PartialGroupWords += r.Stats.PartialGroupWords
+		for _, n := range r.UsedControlSignals {
+			used[n] = true
+		}
+		for _, n := range r.FoundControlSignals {
+			found[n] = true
+		}
+	}
+	merged.UsedControlSignals = sortedNets(used)
+	merged.FoundControlSignals = sortedNets(found)
+	return merged
+}
+
+type pipeline struct {
+	nl     *netlist.Netlist
+	opt    Options
+	it     *cone.Interner
+	b      *cone.Builder
+	used   map[netlist.NetID]bool
+	found  map[netlist.NetID]bool
+	result *Result
+}
+
+func (p *pipeline) tracef(format string, args ...any) {
+	if p.opt.CollectTrace {
+		p.result.Trace = append(p.result.Trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// processGroup forms subgroups by sequential full-or-partial matching
+// (§2.3) and resolves each.
+func (p *pipeline) processGroup(nets []netlist.NetID) {
+	var bits []*cone.BitCone
+	flush := func() {
+		if len(bits) > 0 {
+			p.result.Stats.Subgroups++
+			p.resolveSubgroup(bits)
+			bits = nil
+		}
+	}
+	var prev *cone.BitCone
+	for _, net := range nets {
+		bc := p.b.Bit(net)
+		if bc == nil {
+			flush()
+			prev = nil
+			continue
+		}
+		p.result.Stats.CandidateBits++
+		if prev != nil && !cone.FullMatch(prev, bc) && !cone.PartialMatch(p.it, prev, bc) {
+			flush()
+		}
+		bits = append(bits, bc)
+		prev = bc
+	}
+	flush()
+}
+
+// resolveSubgroup turns one subgroup of partially/fully matching bits into
+// generated words (§2.4 + §2.5).
+func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
+	if len(bits) == 1 {
+		p.emit(Word{Bits: []netlist.NetID{bits[0].Net}, Verified: true})
+		return
+	}
+	common := cone.CommonKeys(p.it, bits)
+	dissim := make([][]cone.Subtree, len(bits))
+	totalDissim := 0
+	for i, bc := range bits {
+		dissim[i] = cone.Dissimilar(p.it, bc, common)
+		totalDissim += len(dissim[i])
+	}
+	if totalDissim == 0 {
+		p.emit(Word{Bits: bitNets(bits), Verified: true})
+		return
+	}
+
+	signals := ctrlsig.Find(p.nl, p.b, dissim, p.opt.Depth-1)
+	if len(signals) > p.opt.MaxControlSignals {
+		signals = signals[:p.opt.MaxControlSignals]
+	}
+	for _, s := range signals {
+		p.found[s.Net] = true
+	}
+	p.tracef("subgroup %s: %d dissimilar subtrees, %d control signals",
+		p.nl.NetName(bits[0].Net), totalDissim, len(signals))
+
+	baseClasses := classesByKey(bits, nil)
+	bestSize := maxClassSize(baseClasses)
+	var bestTrial *trialResult
+
+	trials := 0
+	stop := false
+	p.forEachAssignment(signals, func(assign map[netlist.NetID]logic.Value) bool {
+		if stop || trials >= p.opt.MaxTrials {
+			return false
+		}
+		trials++
+		p.result.Stats.Reductions++
+		tr := p.tryAssignment(bits, assign)
+		if tr == nil {
+			p.tracef("subgroup %s: trial %s infeasible", p.nl.NetName(bits[0].Net), p.formatAssign(assign))
+			return true
+		}
+		p.tracef("subgroup %s: trial %s -> max class %d/%d", p.nl.NetName(bits[0].Net), p.formatAssign(assign), tr.maxClass, len(bits))
+		if tr.maxClass == len(bits) {
+			bestTrial = tr
+			stop = true
+			return false
+		}
+		if tr.maxClass > bestSize {
+			bestSize = tr.maxClass
+			bestTrial = tr
+		}
+		return true
+	})
+
+	if bestTrial != nil && bestTrial.maxClass == len(bits) {
+		// The assignment made every bit fully similar: one verified word.
+		ctrls := assignNets(bestTrial.assign)
+		for _, c := range ctrls {
+			p.used[c] = true
+		}
+		p.result.Stats.ReducedWords++
+		p.tracef("subgroup %s: verified %d-bit word via assignment %s",
+			p.nl.NetName(bits[0].Net), len(bits), p.formatAssign(bestTrial.assign))
+		p.emit(Word{Bits: bitNets(bits), Verified: true, Controls: ctrls, Assignment: bestTrial.assign})
+		return
+	}
+
+	// No assignment equalized the whole subgroup. If the bits are still
+	// strongly cohesive, keep them together as an unverified word.
+	if !p.opt.NoPartialGroups && p.cohesive(bits, common) {
+		p.result.Stats.PartialGroupWords++
+		p.tracef("subgroup %s: emitted as cohesive partial group (%d bits)",
+			p.nl.NetName(bits[0].Net), len(bits))
+		p.emit(Word{Bits: bitNets(bits)})
+		return
+	}
+
+	// Otherwise fall back to the best full-similarity classes seen: the
+	// best reducing assignment if it beat the unreduced structure, else the
+	// unreduced classes.
+	classes := baseClasses
+	var ctrls []netlist.NetID
+	var assign map[netlist.NetID]logic.Value
+	if bestTrial != nil {
+		classes = bestTrial.classes
+		ctrls = assignNets(bestTrial.assign)
+		assign = bestTrial.assign
+		for _, c := range ctrls {
+			p.used[c] = true
+		}
+		p.result.Stats.ReducedWords++
+	}
+	for _, cls := range classes {
+		w := Word{Bits: cls, Verified: len(cls) >= 1}
+		if len(cls) >= 2 && ctrls != nil {
+			w.Controls = ctrls
+			w.Assignment = assign
+		}
+		p.emit(w)
+	}
+}
+
+// cohesive reports whether every bit shares at least Theta of its subtrees
+// with the subgroup's common structure.
+func (p *pipeline) cohesive(bits []*cone.BitCone, common []cone.KeyID) bool {
+	if len(common) == 0 {
+		return false
+	}
+	for _, bc := range bits {
+		if cone.SimilarFraction(p.it, bc, common) < p.opt.Theta {
+			return false
+		}
+	}
+	return true
+}
+
+type trialResult struct {
+	assign   map[netlist.NetID]logic.Value
+	classes  [][]netlist.NetID
+	maxClass int
+}
+
+// tryAssignment propagates one assignment and regroups the subgroup's bits
+// by full similarity on the reduced circuit. It returns nil for infeasible
+// (contradictory) assignments or ones that constant-fold a bit away.
+func (p *pipeline) tryAssignment(bits []*cone.BitCone, assign map[netlist.NetID]logic.Value) *trialResult {
+	red, err := reduce.Apply(p.nl, assign)
+	if err != nil {
+		p.tracef("reduce conflict: %v", err)
+		return nil
+	}
+	rb := cone.NewBuilder(red, p.it, p.opt.Depth)
+	newBits := make([]*cone.BitCone, len(bits))
+	for i, bc := range bits {
+		nb := rb.Bit(bc.Net)
+		if nb == nil {
+			p.tracef("bit %s simplified away (const=%v)", p.nl.NetName(bc.Net), red.Value(bc.Net))
+			return nil
+		}
+		newBits[i] = nb
+	}
+	classes := classesByKey(newBits, bits)
+	return &trialResult{assign: assign, classes: classes, maxClass: maxClassSize(classes)}
+}
+
+// forEachAssignment enumerates feasible assignments: singles first, then
+// pairs, then triples, bounded by MaxAssign. fn returns false to stop.
+func (p *pipeline) forEachAssignment(signals []ctrlsig.Signal, fn func(map[netlist.NetID]logic.Value) bool) {
+	single := func() bool {
+		for _, s := range signals {
+			for _, v := range s.Values {
+				if !fn(map[netlist.NetID]logic.Value{s.Net: v}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	pair := func() bool {
+		for i := 0; i < len(signals); i++ {
+			for j := i + 1; j < len(signals); j++ {
+				for _, vi := range signals[i].Values {
+					for _, vj := range signals[j].Values {
+						if !fn(map[netlist.NetID]logic.Value{signals[i].Net: vi, signals[j].Net: vj}) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	triple := func() bool {
+		for i := 0; i < len(signals); i++ {
+			for j := i + 1; j < len(signals); j++ {
+				for k := j + 1; k < len(signals); k++ {
+					for _, vi := range signals[i].Values {
+						for _, vj := range signals[j].Values {
+							for _, vk := range signals[k].Values {
+								m := map[netlist.NetID]logic.Value{
+									signals[i].Net: vi,
+									signals[j].Net: vj,
+									signals[k].Net: vk,
+								}
+								if !fn(m) {
+									return false
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if !single() {
+		return
+	}
+	if p.opt.MaxAssign >= 2 && !pair() {
+		return
+	}
+	if p.opt.MaxAssign >= 3 {
+		triple()
+	}
+}
+
+func (p *pipeline) emit(w Word) { p.result.Words = append(p.result.Words, w) }
+
+func (p *pipeline) formatAssign(assign map[netlist.NetID]logic.Value) string {
+	nets := assignNets(assign)
+	s := ""
+	for i, n := range nets {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%s", p.nl.NetName(n), assign[n])
+	}
+	return s
+}
+
+// classesByKey groups bits by whole-cone key equality, preserving first-seen
+// order. orig, when non-nil, supplies the net IDs to report (the bits'
+// identities in the original netlist).
+func classesByKey(bits []*cone.BitCone, orig []*cone.BitCone) [][]netlist.NetID {
+	type class struct {
+		kind logic.Kind
+		key  cone.KeyID
+	}
+	index := make(map[class]int)
+	var classes [][]netlist.NetID
+	for i, bc := range bits {
+		net := bc.Net
+		if orig != nil {
+			net = orig[i].Net
+		}
+		c := class{kind: bc.RootKind, key: bc.FullKey}
+		if ci, ok := index[c]; ok {
+			classes[ci] = append(classes[ci], net)
+			continue
+		}
+		index[c] = len(classes)
+		classes = append(classes, []netlist.NetID{net})
+	}
+	return classes
+}
+
+func maxClassSize(classes [][]netlist.NetID) int {
+	m := 0
+	for _, c := range classes {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+func bitNets(bits []*cone.BitCone) []netlist.NetID {
+	out := make([]netlist.NetID, len(bits))
+	for i, bc := range bits {
+		out[i] = bc.Net
+	}
+	return out
+}
+
+func assignNets(assign map[netlist.NetID]logic.Value) []netlist.NetID {
+	out := make([]netlist.NetID, 0, len(assign))
+	for n := range assign {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedNets(m map[netlist.NetID]bool) []netlist.NetID {
+	out := make([]netlist.NetID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

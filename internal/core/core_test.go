@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// wordNet builds one Figure-1-style word at gate level (internals first,
+// roots adjacent): bit_i = NAND3(X_i, Y_i, Z_i) with X/Y similar and Z
+// divergent, killable by k=0 (k = NAND(p,q) decode).
+func wordNet(t *testing.T, nBits int, secondSignal bool) (*netlist.Netlist, []netlist.NetID, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	nl := netlist.New("w")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	p, q := pi("p"), pi("q")
+	s1, s2 := pi("s1"), pi("s2")
+	k := nl.MustNet("k")
+	nl.MustGate("gk", logic.Nand, k, p, q)
+	k2 := netlist.NoNet
+	if secondSignal {
+		r, w := pi("r"), pi("w")
+		k2 = nl.MustNet("k2")
+		nl.MustGate("gk2", logic.Nand, k2, r, w)
+	}
+	type spec struct{ x, y, z netlist.NetID }
+	var specs []spec
+	for i := 0; i < nBits; i++ {
+		sfx := string(rune('0' + i))
+		a, b, c := pi("a"+sfx), pi("b"+sfx), pi("c"+sfx)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, s1)
+		y := nl.MustNet("y" + sfx)
+		nl.MustGate("gy"+sfx, logic.Nand, y, b, s2)
+		z := nl.MustNet("z" + sfx)
+		switch {
+		case secondSignal && i >= nBits/2:
+			// High half killable only by k2, but contains both signals.
+			inner := nl.MustNet("zi" + sfx)
+			nl.MustGate("gzi"+sfx, logic.Nand, inner, c, k)
+			nl.MustGate("gz"+sfx, logic.Oai21, z, inner, inner, k2)
+		case secondSignal:
+			inner := nl.MustNet("zi" + sfx)
+			nl.MustGate("gzi"+sfx, logic.Nand, inner, c, k2)
+			nl.MustGate("gz"+sfx, logic.Nand, z, inner, k)
+		case i == 0:
+			nl.MustGate("gz"+sfx, logic.Nand, z, c, k)
+		case i == 1:
+			m := pi("m" + sfx)
+			nl.MustGate("gz"+sfx, logic.Nand, z, c, m, k)
+		default:
+			inner := nl.MustNet("zi" + sfx)
+			nl.MustGate("gzi"+sfx, logic.Nand, inner, c, pi("m"+sfx))
+			nl.MustGate("gz"+sfx, logic.Nand, z, inner, k)
+		}
+		specs = append(specs, spec{x, y, z})
+	}
+	var bits []netlist.NetID
+	for i, s := range specs {
+		bit := nl.MustNet("bit" + string(rune('0'+i)))
+		nl.MustGate("gb"+string(rune('0'+i)), logic.Nand, bit, s.x, s.y, s.z)
+		bits = append(bits, bit)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl, bits, k, k2
+}
+
+func findWord(res *Result, bits []netlist.NetID) *Word {
+	for i := range res.Words {
+		set := map[netlist.NetID]bool{}
+		for _, n := range res.Words[i].Bits {
+			set[n] = true
+		}
+		all := true
+		for _, b := range bits {
+			if !set[b] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return &res.Words[i]
+		}
+	}
+	return nil
+}
+
+func TestIdentifySingleControlSignal(t *testing.T) {
+	nl, bits, k, _ := wordNet(t, 4, false)
+	res := Identify(nl, Options{CollectTrace: true})
+	w := findWord(res, bits)
+	if w == nil {
+		t.Fatalf("word not found; trace: %v", res.Trace)
+	}
+	if !w.Verified {
+		t.Errorf("word not verified; trace: %v", res.Trace)
+	}
+	if len(w.Controls) != 1 || w.Controls[0] != k {
+		t.Errorf("controls = %v, want [k]; trace: %v", w.Controls, res.Trace)
+	}
+	if w.Assignment[k] != logic.Zero {
+		t.Errorf("assignment = %v", w.Assignment)
+	}
+	if res.Stats.ReducedWords != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+}
+
+func TestIdentifyPairAssignment(t *testing.T) {
+	nl, bits, k, k2 := wordNet(t, 4, true)
+	res := Identify(nl, Options{CollectTrace: true})
+	w := findWord(res, bits)
+	if w == nil || !w.Verified {
+		t.Fatalf("word not verified; trace: %v", res.Trace)
+	}
+	if len(w.Controls) != 2 {
+		t.Fatalf("controls = %v, want pair {k, k2}; trace: %v", w.Controls, res.Trace)
+	}
+	got := map[netlist.NetID]bool{w.Controls[0]: true, w.Controls[1]: true}
+	if !got[k] || !got[k2] {
+		t.Errorf("controls = %v, want {%d,%d}", w.Controls, k, k2)
+	}
+}
+
+func TestIdentifyMaxAssignOneFailsPair(t *testing.T) {
+	nl, bits, _, _ := wordNet(t, 4, true)
+	res := Identify(nl, Options{MaxAssign: 1, NoPartialGroups: true})
+	w := findWord(res, bits)
+	if w != nil && w.Verified && len(w.Controls) == 2 {
+		t.Error("pair assignment used despite MaxAssign=1")
+	}
+	// With the cohesion rule disabled and only single assignments, the
+	// word cannot be emitted whole.
+	if w != nil {
+		t.Errorf("word found whole with MaxAssign=1 and no partial groups: %+v", w)
+	}
+}
+
+func TestIdentifyCohesionRule(t *testing.T) {
+	// Without control signals (divergent subtrees over disjoint nets), the
+	// cohesion rule still emits the whole subgroup.
+	nl := netlist.New("t")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	s1, s2 := pi("s1"), pi("s2")
+	type spec struct{ x, y, z netlist.NetID }
+	var specs []spec
+	kinds := []logic.Kind{logic.And, logic.Or, logic.Xor}
+	for i := 0; i < 3; i++ {
+		sfx := string(rune('0' + i))
+		a, b, u, v := pi("a"+sfx), pi("b"+sfx), pi("u"+sfx), pi("v"+sfx)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, s1)
+		y := nl.MustNet("y" + sfx)
+		nl.MustGate("gy"+sfx, logic.Nand, y, b, s2)
+		z := nl.MustNet("z" + sfx)
+		nl.MustGate("gz"+sfx, kinds[i], z, u, v)
+		specs = append(specs, spec{x, y, z})
+	}
+	var bits []netlist.NetID
+	for i, s := range specs {
+		bit := nl.MustNet("bit" + string(rune('0'+i)))
+		nl.MustGate("gb"+string(rune('0'+i)), logic.Nand, bit, s.x, s.y, s.z)
+		bits = append(bits, bit)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, Options{})
+	w := findWord(res, bits)
+	if w == nil {
+		t.Fatal("cohesive subgroup not emitted")
+	}
+	if w.Verified || len(w.Controls) != 0 {
+		t.Errorf("cohesion-rule word must be unverified and control-free: %+v", w)
+	}
+	if res.Stats.PartialGroupWords != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+
+	// Ablation: with the rule off the word is not emitted whole.
+	res = Identify(nl, Options{NoPartialGroups: true})
+	if findWord(res, bits) != nil {
+		t.Error("NoPartialGroups still emitted the cohesive subgroup")
+	}
+}
+
+func TestIdentifyFullySimilarNeedsNoControls(t *testing.T) {
+	nl := netlist.New("t")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	s := pi("s")
+	var xs, bits []netlist.NetID
+	for i := 0; i < 3; i++ {
+		sfx := string(rune('0' + i))
+		a := pi("a" + sfx)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, s)
+		xs = append(xs, x)
+	}
+	for i, x := range xs {
+		bit := nl.MustNet("bit" + string(rune('0'+i)))
+		nl.MustGate("gb"+string(rune('0'+i)), logic.Nand, bit, x, x)
+		bits = append(bits, bit)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, Options{})
+	w := findWord(res, bits)
+	if w == nil || !w.Verified || len(w.Controls) != 0 {
+		t.Fatalf("fully similar word mishandled: %+v", w)
+	}
+	if res.Stats.Reductions != 0 {
+		t.Errorf("no reductions expected: %+v", res.Stats)
+	}
+}
+
+func TestIdentifyDeterministic(t *testing.T) {
+	nl, _, _, _ := wordNet(t, 4, true)
+	a := Identify(nl, Options{})
+	b := Identify(nl, Options{})
+	if len(a.Words) != len(b.Words) {
+		t.Fatal("word count differs across runs")
+	}
+	for i := range a.Words {
+		if len(a.Words[i].Bits) != len(b.Words[i].Bits) {
+			t.Fatal("word sizes differ across runs")
+		}
+		for j := range a.Words[i].Bits {
+			if a.Words[i].Bits[j] != b.Words[i].Bits[j] {
+				t.Fatal("word bits differ across runs")
+			}
+		}
+	}
+	if len(a.UsedControlSignals) != len(b.UsedControlSignals) {
+		t.Fatal("control signals differ across runs")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Depth != 4 || o.MaxAssign != 2 || o.Theta != 0.5 || o.MaxTrials != 96 || o.MaxControlSignals != 8 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o := (Options{MaxAssign: 9}).withDefaults(); o.MaxAssign != 3 {
+		t.Errorf("MaxAssign clamp: %d", o.MaxAssign)
+	}
+}
+
+func TestGeneratedWords(t *testing.T) {
+	nl, bits, _, _ := wordNet(t, 3, false)
+	res := Identify(nl, Options{})
+	gen := res.GeneratedWords()
+	if len(gen) != len(res.Words) {
+		t.Fatal("length mismatch")
+	}
+	_ = bits
+}

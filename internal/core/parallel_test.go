@@ -1,0 +1,69 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// bigNet stitches several independent word structures together so there are
+// enough adjacency groups for parallelism to engage.
+func bigNet(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl, _, _, _ := wordNet(t, 4, false)
+	// wordNet builds into a fresh netlist; replicate more structures by
+	// hand: several uniform columns of different shapes.
+	add := func(prefix string, n int) {
+		s := nl.MustNet(prefix + "_s")
+		nl.MarkPI(s)
+		var xs []netlist.NetID
+		for i := 0; i < n; i++ {
+			sfx := prefix + string(rune('0'+i))
+			a := nl.MustNet("a" + sfx)
+			nl.MarkPI(a)
+			x := nl.MustNet("x" + sfx)
+			nl.MustGate("gx"+sfx, pickKind(i), x, a, s)
+			xs = append(xs, x)
+		}
+		for i, x := range xs {
+			bit := nl.MustNet("bit" + prefix + string(rune('0'+i)))
+			nl.MustGate("gb"+prefix+string(rune('0'+i)), pickKind(0), bit, x, x)
+		}
+	}
+	for _, p := range []string{"p", "q", "r", "w", "v"} {
+		add(p, 4)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func pickKind(i int) logic.Kind {
+	kinds := []logic.Kind{logic.Nand, logic.Nor, logic.And, logic.Or}
+	return kinds[i%len(kinds)]
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	nl := bigNet(t)
+	seq := Identify(nl, Options{})
+	for _, workers := range []int{2, 4, -1} {
+		par := Identify(nl, Options{Workers: workers})
+		if !reflect.DeepEqual(seq.GeneratedWords(), par.GeneratedWords()) {
+			t.Fatalf("workers=%d: words differ", workers)
+		}
+		if !reflect.DeepEqual(seq.UsedControlSignals, par.UsedControlSignals) {
+			t.Fatalf("workers=%d: used control signals differ", workers)
+		}
+		if !reflect.DeepEqual(seq.FoundControlSignals, par.FoundControlSignals) {
+			t.Fatalf("workers=%d: found control signals differ", workers)
+		}
+		if seq.Stats.Subgroups != par.Stats.Subgroups ||
+			seq.Stats.CandidateBits != par.Stats.CandidateBits ||
+			seq.Stats.ReducedWords != par.Stats.ReducedWords {
+			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, seq.Stats, par.Stats)
+		}
+	}
+}

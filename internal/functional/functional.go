@@ -1,0 +1,296 @@
+// Package functional implements functional word identification, the class
+// of techniques the paper positions as complementary to structural matching
+// (§1: "functional techniques usually require some structural processing
+// such as finding and enumerating cuts of certain size ... they may be
+// applied after words are identified using a structural technique").
+//
+// Each candidate bit's depth-limited fanin cone is treated as a cut: the
+// cone's leaves are its support (capped at MaxSupport inputs), and the
+// bit's function is the truth table of the cone over that support. Truth
+// tables are put into an NPN-lite canonical form — output phase
+// normalization plus an influence-signature input ordering — so two bits
+// match when they compute the same function even through different gate
+// decompositions (a MUX2 cell vs. its four-NAND form, for example), which
+// purely structural hashing cannot see. Grouping then follows the same
+// netlist-adjacency discipline as the structural techniques.
+package functional
+
+import (
+	"sort"
+
+	"gatewords/internal/group"
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Options configures the matcher.
+type Options struct {
+	// Depth bounds the cone (levels of logic, default 4, like the
+	// structural matcher).
+	Depth int
+	// MaxSupport skips bits whose cone has more leaves than this
+	// (default 8: truth tables stay <= 256 minterms).
+	MaxSupport int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = 4
+	}
+	if o.MaxSupport <= 0 {
+		o.MaxSupport = 8
+	}
+	if o.MaxSupport > 16 {
+		o.MaxSupport = 16
+	}
+	return o
+}
+
+// Result is the functional matcher's output.
+type Result struct {
+	Words [][]netlist.NetID
+	// Skipped counts candidate bits whose support exceeded MaxSupport.
+	Skipped int
+}
+
+// Identify groups bits whose cones compute the same canonical function,
+// within the usual adjacency groups.
+func Identify(nl *netlist.Netlist, opt Options) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	groups := group.Adjacent(nl, group.Options{})
+	for _, g := range groups {
+		var run []netlist.NetID
+		var prev string
+		flush := func() {
+			if len(run) > 0 {
+				res.Words = append(res.Words, run)
+				run = nil
+			}
+			prev = ""
+		}
+		for _, net := range g {
+			key, ok := CanonicalFunction(nl, net, opt.Depth, opt.MaxSupport)
+			if !ok {
+				res.Skipped++
+				flush()
+				continue
+			}
+			if prev != "" && key != prev {
+				flush()
+			}
+			run = append(run, net)
+			prev = key
+		}
+		flush()
+	}
+	return res
+}
+
+// CanonicalFunction computes the canonical truth-table key of a bit's cone,
+// or ok=false when the bit has no combinational cone or its support is too
+// large.
+func CanonicalFunction(v netlist.View, net netlist.NetID, depth, maxSupport int) (string, bool) {
+	cone, ok := extractCone(v, net, depth)
+	if !ok || len(cone.leaves) > maxSupport {
+		return "", false
+	}
+	tt := simulateCone(v, cone)
+	tt = canonicalize(tt, len(cone.leaves))
+	return string(tt) + ":" + string(rune('0'+len(cone.leaves))), true
+}
+
+// coneGraph is the deduplicated DAG of one bit's depth-limited cone.
+type coneGraph struct {
+	root    netlist.NetID
+	leaves  []netlist.NetID       // sorted support
+	order   []netlist.GateID      // gates in topological (eval) order
+	kinds   []logic.Kind          // effective kinds per gate
+	inputs  [][]netlist.NetID     // effective inputs per gate
+	outputs []netlist.NetID       // output net per gate
+	index   map[netlist.NetID]int // leaf position
+}
+
+// extractCone walks the view from net down to depth levels, collecting the
+// gate DAG and the boundary leaves. Unlike the structural hash, the cone is
+// a DAG (shared nets evaluated once), which is exact for functions.
+func extractCone(v netlist.View, net netlist.NetID, depth int) (*coneGraph, bool) {
+	if _, isConst := v.NetConst(net); isConst {
+		return nil, false
+	}
+	root := v.DriverOf(net)
+	if root == netlist.NoGate || !v.GateKind(root).IsCombinational() {
+		return nil, false
+	}
+	cg := &coneGraph{root: net, index: map[netlist.NetID]int{}}
+	leafSet := map[netlist.NetID]bool{}
+	visited := map[netlist.NetID]int{} // net -> deepest remaining budget seen
+	var walk func(n netlist.NetID, budget int)
+	walk = func(n netlist.NetID, budget int) {
+		if b, ok := visited[n]; ok && b >= budget {
+			return
+		}
+		visited[n] = budget
+		if budget <= 0 {
+			leafSet[n] = true
+			return
+		}
+		if _, isConst := v.NetConst(n); isConst {
+			leafSet[n] = true
+			return
+		}
+		d := v.DriverOf(n)
+		if d == netlist.NoGate || !v.GateKind(d).IsCombinational() {
+			leafSet[n] = true
+			return
+		}
+		for _, in := range v.GateInputs(d, nil) {
+			walk(in, budget-1)
+		}
+	}
+	walk(net, depth)
+	// A net may have been first cut as a leaf and later expanded with a
+	// larger budget; drop leaves that ended up expanded.
+	for n := range leafSet {
+		if visited[n] > 0 {
+			d := v.DriverOf(n)
+			if d != netlist.NoGate && v.GateKind(d).IsCombinational() {
+				if _, isConst := v.NetConst(n); !isConst {
+					delete(leafSet, n)
+				}
+			}
+		}
+	}
+	for n := range leafSet {
+		cg.leaves = append(cg.leaves, n)
+	}
+	sort.Slice(cg.leaves, func(i, j int) bool { return cg.leaves[i] < cg.leaves[j] })
+	for i, n := range cg.leaves {
+		cg.index[n] = i
+	}
+
+	// Topological order of the cone gates (DFS postorder from the root,
+	// stopping at leaves).
+	seen := map[netlist.NetID]bool{}
+	var build func(n netlist.NetID)
+	build = func(n netlist.NetID) {
+		if seen[n] || leafSet[n] {
+			return
+		}
+		seen[n] = true
+		d := v.DriverOf(n)
+		ins := v.GateInputs(d, nil)
+		for _, in := range ins {
+			build(in)
+		}
+		cg.order = append(cg.order, d)
+		cg.kinds = append(cg.kinds, v.GateKind(d))
+		cg.inputs = append(cg.inputs, ins)
+		cg.outputs = append(cg.outputs, n)
+	}
+	build(net)
+	return cg, true
+}
+
+// simulateCone evaluates the cone for every support assignment, returning a
+// packed truth table (bit m = output under minterm m; leaf i is bit i of m).
+func simulateCone(v netlist.View, cg *coneGraph) []byte {
+	k := len(cg.leaves)
+	size := 1 << uint(k)
+	tt := make([]byte, (size+7)/8)
+	vals := map[netlist.NetID]logic.Value{}
+	var inbuf []logic.Value
+	for m := 0; m < size; m++ {
+		for i, leaf := range cg.leaves {
+			vals[leaf] = logic.FromBool(m>>uint(i)&1 == 1)
+		}
+		for gi, g := range cg.order {
+			inbuf = inbuf[:0]
+			for _, in := range cg.inputs[gi] {
+				if vv, isConst := v.NetConst(in); isConst {
+					inbuf = append(inbuf, vv)
+					continue
+				}
+				inbuf = append(inbuf, vals[in])
+			}
+			vals[cg.outputs[gi]] = logic.Eval(cg.kinds[gi], inbuf)
+			_ = g
+		}
+		if vals[cg.root] == logic.One {
+			tt[m/8] |= 1 << uint(m%8)
+		}
+	}
+	return tt
+}
+
+// canonicalize puts a truth table into NPN-lite canonical form: the output
+// phase is normalized so that f(0,...,0) = 0, and inputs are reordered by a
+// function-derived signature (influence, then cofactor weight), which makes
+// the key invariant under input renaming whenever signatures are distinct.
+// Symmetric inputs are already interchangeable, so ties are harmless there;
+// genuinely ambiguous ties can make equal functions miss each other, which
+// is conservative (no false matches).
+func canonicalize(tt []byte, k int) []byte {
+	size := 1 << uint(k)
+	get := func(t []byte, m int) bool { return t[m/8]>>uint(m%8)&1 == 1 }
+	set := func(t []byte, m int) { t[m/8] |= 1 << uint(m%8) }
+
+	// Output phase.
+	if get(tt, 0) {
+		inv := make([]byte, len(tt))
+		for m := 0; m < size; m++ {
+			if !get(tt, m) {
+				set(inv, m)
+			}
+		}
+		tt = inv
+	}
+
+	// Input signatures.
+	type sig struct {
+		idx       int
+		influence int
+		cofOnes   int
+	}
+	sigs := make([]sig, k)
+	for i := 0; i < k; i++ {
+		s := sig{idx: i}
+		bit := 1 << uint(i)
+		for m := 0; m < size; m++ {
+			if m&bit != 0 {
+				if get(tt, m) {
+					s.cofOnes++
+				}
+				continue
+			}
+			if get(tt, m) != get(tt, m|bit) {
+				s.influence++
+			}
+		}
+		sigs[i] = s
+	}
+	sort.Slice(sigs, func(a, b int) bool {
+		if sigs[a].influence != sigs[b].influence {
+			return sigs[a].influence > sigs[b].influence
+		}
+		if sigs[a].cofOnes != sigs[b].cofOnes {
+			return sigs[a].cofOnes > sigs[b].cofOnes
+		}
+		return sigs[a].idx < sigs[b].idx
+	})
+
+	// Apply the permutation: new input j reads old input sigs[j].idx.
+	out := make([]byte, len(tt))
+	for m := 0; m < size; m++ {
+		old := 0
+		for j := 0; j < k; j++ {
+			if m>>uint(j)&1 == 1 {
+				old |= 1 << uint(sigs[j].idx)
+			}
+		}
+		if get(tt, old) {
+			set(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package group implements the first-level grouping of potential word bits
+// (DAC'15 §2.2): a single pass over the netlist in file order, grouping the
+// output nets of consecutive gate lines whose fanin-cone roots have the same
+// gate type. The pass is O(N) in the number of nets; cross-checking between
+// adjacent groups is deliberately out of scope (the paper leaves it to
+// future work), which the tests pin down.
+package group
+
+import (
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Options tunes candidate selection.
+type Options struct {
+	// DFFInputsOnly restricts candidate bits to nets that feed flip-flop D
+	// pins. The paper groups every net line; reference words are always FF
+	// input nets, so this is a cheap precision/recall trade-off exposed for
+	// ablation. Default false (paper behavior).
+	DFFInputsOnly bool
+}
+
+// Adjacent returns groups of potential word bits. Each group is a maximal
+// run of consecutive gate lines whose root gate types are equal, where the
+// gate type includes the input count — the paper's example groups nets whose
+// roots are all "3-input NAND gates", so a 2-input NAND line breaks the run.
+// Flip-flop lines are not candidates themselves (a word bit is the net
+// feeding the register, whose cone is combinational) and they break runs.
+func Adjacent(nl *netlist.Netlist, opt Options) [][]netlist.NetID {
+	feedsDFF := map[netlist.NetID]bool{}
+	if opt.DFFInputsOnly {
+		for _, g := range nl.DFFs() {
+			for _, in := range nl.Gate(g).Inputs {
+				feedsDFF[in] = true
+			}
+		}
+	}
+	type rootType struct {
+		kind  logic.Kind
+		arity int
+	}
+	var groups [][]netlist.NetID
+	var run []netlist.NetID
+	prev := rootType{kind: logic.Invalid}
+	flush := func() {
+		if len(run) > 0 {
+			groups = append(groups, run)
+			run = nil
+		}
+		prev = rootType{kind: logic.Invalid}
+	}
+	for gi := 0; gi < nl.GateCount(); gi++ {
+		g := nl.Gate(netlist.GateID(gi))
+		if !g.Kind.IsCombinational() {
+			flush()
+			continue
+		}
+		if opt.DFFInputsOnly && !feedsDFF[g.Output] {
+			flush()
+			continue
+		}
+		cur := rootType{kind: g.Kind, arity: len(g.Inputs)}
+		if cur != prev {
+			flush()
+			prev = cur
+		}
+		run = append(run, g.Output)
+	}
+	flush()
+	return groups
+}

@@ -1,0 +1,137 @@
+package group
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// build assembles a netlist from a gate plan; each entry drives net g<i>.
+func build(t *testing.T, plan []struct {
+	kind  logic.Kind
+	arity int
+}) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("t")
+	a := nl.MustNet("a")
+	b := nl.MustNet("b")
+	c := nl.MustNet("c")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	nl.MarkPI(c)
+	srcs := []netlist.NetID{a, b, c}
+	for i, p := range plan {
+		out := nl.MustNet("g" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+		ins := make([]netlist.NetID, p.arity)
+		for j := range ins {
+			ins[j] = srcs[j%len(srcs)]
+		}
+		nl.MustGate("inst"+string(rune('0'+i/10))+string(rune('0'+i%10)), p.kind, out, ins...)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+type pk = struct {
+	kind  logic.Kind
+	arity int
+}
+
+func TestAdjacentRuns(t *testing.T) {
+	nl := build(t, []pk{
+		{logic.Nand, 3}, {logic.Nand, 3}, {logic.Nand, 3}, // run of 3
+		{logic.Nor, 2}, {logic.Nor, 2}, // run of 2
+		{logic.Nand, 3}, // new run: interrupted by the NORs
+	})
+	groups := Adjacent(nl, Options{})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d: %v", len(groups), groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 || len(groups[2]) != 1 {
+		t.Errorf("group sizes: %d %d %d", len(groups[0]), len(groups[1]), len(groups[2]))
+	}
+}
+
+func TestAdjacentAritySplits(t *testing.T) {
+	// Same kind, different input counts: "3-input NAND" is a different
+	// root type from "2-input NAND".
+	nl := build(t, []pk{{logic.Nand, 2}, {logic.Nand, 2}, {logic.Nand, 3}, {logic.Nand, 3}})
+	groups := Adjacent(nl, Options{})
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("arity must split runs: %v", groups)
+	}
+}
+
+func TestAdjacentDFFBreaksRuns(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	x := nl.MustNet("x")
+	nl.MustGate("g1", logic.Not, x, a)
+	q := nl.MustNet("q")
+	nl.MustGate("ff", logic.DFF, q, x)
+	y := nl.MustNet("y")
+	nl.MustGate("g2", logic.Not, y, q)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups := Adjacent(nl, Options{})
+	if len(groups) != 2 {
+		t.Fatalf("DFF must break runs: %v", groups)
+	}
+}
+
+func TestAdjacentDFFInputsOnly(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	d1 := nl.MustNet("d1")
+	nl.MustGate("g1", logic.Not, d1, a)
+	junk := nl.MustNet("junk")
+	nl.MustGate("g2", logic.Not, junk, a)
+	d2 := nl.MustNet("d2")
+	nl.MustGate("g3", logic.Not, d2, junk)
+	q1 := nl.MustNet("q1")
+	nl.MustGate("ff1", logic.DFF, q1, d1)
+	q2 := nl.MustNet("q2")
+	nl.MustGate("ff2", logic.DFF, q2, d2)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all := Adjacent(nl, Options{})
+	if len(all) != 1 || len(all[0]) != 3 {
+		t.Fatalf("unrestricted: %v", all)
+	}
+	restricted := Adjacent(nl, Options{DFFInputsOnly: true})
+	// junk breaks the run, so d1 and d2 are separate groups.
+	if len(restricted) != 2 {
+		t.Fatalf("restricted: %v", restricted)
+	}
+	for _, g := range restricted {
+		for _, n := range g {
+			if name := nl.NetName(n); name != "d1" && name != "d2" {
+				t.Errorf("non-D net %s in restricted groups", name)
+			}
+		}
+	}
+}
+
+func TestAdjacentEmptyNetlist(t *testing.T) {
+	nl := netlist.New("t")
+	if groups := Adjacent(nl, Options{}); len(groups) != 0 {
+		t.Errorf("empty netlist: %v", groups)
+	}
+}
+
+// TestAdjacentLinear pins the §2.2 contract: the pass visits each line once
+// and never merges across non-adjacent lines even when root types repeat.
+func TestAdjacentNoCrossGroupMerging(t *testing.T) {
+	nl := build(t, []pk{{logic.Nand, 2}, {logic.Nor, 2}, {logic.Nand, 2}})
+	groups := Adjacent(nl, Options{})
+	if len(groups) != 3 {
+		t.Fatalf("cross-group merging happened: %v", groups)
+	}
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"gatewords/internal/netlist"
+	"gatewords/internal/refwords"
+)
+
+func ref(name string, bits ...netlist.NetID) refwords.Word {
+	return refwords.Word{Name: name, Bits: bits}
+}
+
+func TestFullyFound(t *testing.T) {
+	refs := []refwords.Word{ref("w", 1, 2, 3)}
+	// A generated word may contain extra nets and still fully find.
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2, 3, 99}})
+	if rep.FullyFound != 1 || rep.NotFound != 0 || rep.PartiallyFound != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.FullyFoundPct() != 100 {
+		t.Errorf("pct %f", rep.FullyFoundPct())
+	}
+	if rep.Words[0].Outcome != FullyFound || rep.Words[0].Fragments != 1 {
+		t.Errorf("word result: %+v", rep.Words[0])
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	refs := []refwords.Word{ref("w", 1, 2, 3)}
+	// Every bit in a different generated word.
+	rep := Evaluate(refs, [][]netlist.NetID{{1}, {2}, {3}})
+	if rep.NotFound != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// Bits not covered at all are also singletons.
+	rep = Evaluate(refs, [][]netlist.NetID{{1}})
+	if rep.NotFound != 1 {
+		t.Fatalf("uncovered bits: %+v", rep)
+	}
+	if rep.NotFoundPct() != 100 {
+		t.Errorf("pct %f", rep.NotFoundPct())
+	}
+}
+
+// TestPaperFragmentationExample reproduces the paper's definition: "an
+// 8-bit reference word split into two 4-bit generated words would be
+// fragmented into two pieces", normalized by word size -> 2/8.
+func TestPaperFragmentationExample(t *testing.T) {
+	refs := []refwords.Word{ref("w", 1, 2, 3, 4, 5, 6, 7, 8)}
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	if rep.PartiallyFound != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if math.Abs(rep.FragmentationRate-0.25) > 1e-9 {
+		t.Errorf("fragmentation %f, want 0.25", rep.FragmentationRate)
+	}
+	if rep.Words[0].Fragments != 2 {
+		t.Errorf("fragments %d", rep.Words[0].Fragments)
+	}
+}
+
+func TestPartialWithUncoveredBits(t *testing.T) {
+	// 4-bit word: 2 bits grouped, 2 bits uncovered -> 3 fragments.
+	refs := []refwords.Word{ref("w", 1, 2, 3, 4)}
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2}})
+	if rep.PartiallyFound != 1 || rep.Words[0].Fragments != 3 {
+		t.Fatalf("report: %+v", rep.Words[0])
+	}
+	if math.Abs(rep.FragmentationRate-0.75) > 1e-9 {
+		t.Errorf("frag %f", rep.FragmentationRate)
+	}
+}
+
+func TestFragmentationAveragesOnlyPartial(t *testing.T) {
+	refs := []refwords.Word{
+		ref("full", 1, 2),
+		ref("part", 3, 4, 5, 6),
+		ref("none", 7, 8),
+	}
+	gen := [][]netlist.NetID{{1, 2}, {3, 4}, {5, 6}, {7}, {8}}
+	rep := Evaluate(refs, gen)
+	if rep.FullyFound != 1 || rep.PartiallyFound != 1 || rep.NotFound != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if math.Abs(rep.FragmentationRate-0.5) > 1e-9 {
+		t.Errorf("frag %f, want 0.5 (only the partial word)", rep.FragmentationRate)
+	}
+}
+
+func TestZeroFragmentationConvention(t *testing.T) {
+	refs := []refwords.Word{ref("w", 1, 2)}
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2}})
+	if rep.FragmentationRate != 0 {
+		t.Errorf("no partial words must report 0 fragmentation")
+	}
+}
+
+func TestFirstWordWinsOnOverlap(t *testing.T) {
+	// A net claimed by two generated words belongs to the first.
+	refs := []refwords.Word{ref("w", 1, 2)}
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2}, {2, 99}})
+	if rep.FullyFound != 1 {
+		t.Fatalf("overlap handling: %+v", rep)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	rep := Evaluate(nil, nil)
+	if rep.RefWords != 0 || rep.FullyFoundPct() != 0 || rep.NotFoundPct() != 0 {
+		t.Errorf("empty: %+v", rep)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if FullyFound.String() != "fully-found" || PartiallyFound.String() != "partially-found" || NotFound.String() != "not-found" {
+		t.Error("outcome strings")
+	}
+}
+
+func TestTwoBitWordEdge(t *testing.T) {
+	// For a 2-bit word the outcomes are binary: together = fully found,
+	// apart = not found; "partial" is impossible.
+	refs := []refwords.Word{ref("w", 1, 2)}
+	if rep := Evaluate(refs, [][]netlist.NetID{{1, 2}}); rep.FullyFound != 1 {
+		t.Error("together")
+	}
+	if rep := Evaluate(refs, [][]netlist.NetID{{1}, {2}}); rep.NotFound != 1 {
+		t.Error("apart")
+	}
+}
+
+func TestSortedOutcomesAndFormatRow(t *testing.T) {
+	refs := []refwords.Word{ref("b", 1, 2), ref("a", 3, 4)}
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2}, {3, 4}})
+	sorted := rep.SortedOutcomes()
+	if sorted[0].Ref.Name != "a" || sorted[1].Ref.Name != "b" {
+		t.Error("not sorted")
+	}
+	if rep.FormatRow() == "" {
+		t.Error("empty row")
+	}
+}

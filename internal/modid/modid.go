@@ -1,0 +1,422 @@
+// Package modid identifies word-level operators above identified words —
+// the step the paper motivates in its introduction: "the computational unit
+// responsible for the addition can be more easily identified if first the
+// three 32-bit wires ... are identified". Given a word (the output bits of
+// a presumed operator), modid inspects the driving gate columns and
+// classifies the operator:
+//
+//   - 2:1 muxes, both as MUX2 cell columns and as the four-NAND
+//     decomposition with a shared select/inverted-select pair;
+//   - bitwise operations (AND/OR/XOR/... columns over two operand words);
+//   - inverter/buffer columns (pass-through words);
+//   - ripple-carry adders and incrementers (XOR sum columns with a
+//     recognizable carry chain).
+//
+// Classification is purely structural and local, so a positive match is
+// functionally certain for mux/bitwise/pass columns (the column's gates
+// *are* the operator) and structurally strong for adders.
+package modid
+
+import (
+	"fmt"
+	"strings"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Kind classifies a recovered operator.
+type Kind uint8
+
+// Operator kinds.
+const (
+	Unknown Kind = iota
+	Mux          // Output = Select ? Inputs[1] : Inputs[0]
+	Bitwise      // Output = Inputs[0] <op> Inputs[1] (per-bit)
+	Inv          // Output = ^Inputs[0]
+	Pass         // Output = Inputs[0]
+	Adder        // Output = Inputs[0] + Inputs[1] (ripple carry)
+	Incr         // Output = Inputs[0] + 1
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Mux:
+		return "mux"
+	case Bitwise:
+		return "bitwise"
+	case Inv:
+		return "inv"
+	case Pass:
+		return "pass"
+	case Adder:
+		return "adder"
+	case Incr:
+		return "incr"
+	}
+	return "unknown"
+}
+
+// Module is one recovered operator instance.
+type Module struct {
+	Kind   Kind
+	Op     logic.Kind        // for Bitwise: the per-bit gate kind
+	Output []netlist.NetID   // the word this operator drives
+	Inputs [][]netlist.NetID // operand words, LSB-aligned with Output
+	Select netlist.NetID     // for Mux
+}
+
+// Describe renders the module like an HDL fragment, resolving net names.
+func (m Module) Describe(nl *netlist.Netlist) string {
+	word := func(bits []netlist.NetID) string {
+		if len(bits) == 0 {
+			return "{}"
+		}
+		return fmt.Sprintf("{%s..%s}", nl.NetName(bits[0]), nl.NetName(bits[len(bits)-1]))
+	}
+	out := word(m.Output)
+	switch m.Kind {
+	case Mux:
+		return fmt.Sprintf("%s = %s ? %s : %s", out, nl.NetName(m.Select), word(m.Inputs[1]), word(m.Inputs[0]))
+	case Bitwise:
+		return fmt.Sprintf("%s = %s %s %s", out, word(m.Inputs[0]), strings.ToLower(m.Op.String()), word(m.Inputs[1]))
+	case Inv:
+		return fmt.Sprintf("%s = ~%s", out, word(m.Inputs[0]))
+	case Pass:
+		return fmt.Sprintf("%s = %s", out, word(m.Inputs[0]))
+	case Adder:
+		return fmt.Sprintf("%s = %s + %s", out, word(m.Inputs[0]), word(m.Inputs[1]))
+	case Incr:
+		return fmt.Sprintf("%s = %s + 1", out, word(m.Inputs[0]))
+	}
+	return out + " = ?"
+}
+
+// Discover classifies the operator driving each word. Words that do not
+// match any template are skipped.
+func Discover(nl *netlist.Netlist, words [][]netlist.NetID) []Module {
+	var out []Module
+	for _, w := range words {
+		if len(w) < 2 {
+			continue
+		}
+		if m, ok := classify(nl, w); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// classify tries each template in specificity order.
+func classify(nl *netlist.Netlist, word []netlist.NetID) (Module, bool) {
+	drivers := make([]*netlist.Gate, len(word))
+	for i, b := range word {
+		d := nl.Net(b).Driver
+		if d == netlist.NoGate {
+			return Module{}, false
+		}
+		g := nl.Gate(d)
+		if !g.Kind.IsCombinational() {
+			return Module{}, false
+		}
+		drivers[i] = g
+	}
+	kind := drivers[0].Kind
+	arity := len(drivers[0].Inputs)
+	for _, g := range drivers[1:] {
+		if g.Kind != kind || len(g.Inputs) != arity {
+			return Module{}, false
+		}
+	}
+	switch {
+	case kind == logic.Mux2:
+		return classifyMuxCell(word, drivers)
+	case kind == logic.Not && arity == 1:
+		return Module{Kind: Inv, Output: word, Inputs: [][]netlist.NetID{pinWord(drivers, 0)}}, true
+	case kind == logic.Buf && arity == 1:
+		return Module{Kind: Pass, Output: word, Inputs: [][]netlist.NetID{pinWord(drivers, 0)}}, true
+	case kind == logic.Xor && arity == 2:
+		if m, ok := classifyAdder(nl, word, drivers); ok {
+			return m, ok
+		}
+		return classifyBitwise(word, drivers, kind)
+	case kind == logic.Nand && arity == 2:
+		if m, ok := classifyNandMux(nl, word, drivers); ok {
+			return m, ok
+		}
+		return classifyBitwise(word, drivers, kind)
+	case arity == 2 && kind.IsCombinational():
+		return classifyBitwise(word, drivers, kind)
+	}
+	return Module{}, false
+}
+
+func pinWord(drivers []*netlist.Gate, pin int) []netlist.NetID {
+	out := make([]netlist.NetID, len(drivers))
+	for i, g := range drivers {
+		out[i] = g.Inputs[pin]
+	}
+	return out
+}
+
+// distinct reports whether a candidate operand word has pairwise distinct
+// bits (a repeated net is a control, not an operand).
+func distinct(bits []netlist.NetID) bool {
+	seen := map[netlist.NetID]bool{}
+	for _, b := range bits {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+	}
+	return true
+}
+
+// shared returns the net shared by every driver on the pin, or NoNet.
+func shared(drivers []*netlist.Gate, pin int) netlist.NetID {
+	s := drivers[0].Inputs[pin]
+	for _, g := range drivers[1:] {
+		if g.Inputs[pin] != s {
+			return netlist.NoNet
+		}
+	}
+	return s
+}
+
+func classifyMuxCell(word []netlist.NetID, drivers []*netlist.Gate) (Module, bool) {
+	sel := shared(drivers, 0)
+	if sel == netlist.NoNet {
+		return Module{}, false
+	}
+	a := pinWord(drivers, 1)
+	b := pinWord(drivers, 2)
+	if !distinct(a) || !distinct(b) {
+		return Module{}, false
+	}
+	return Module{Kind: Mux, Output: word, Select: sel, Inputs: [][]netlist.NetID{a, b}}, true
+}
+
+func classifyBitwise(word []netlist.NetID, drivers []*netlist.Gate, kind logic.Kind) (Module, bool) {
+	a := pinWord(drivers, 0)
+	b := pinWord(drivers, 1)
+	if !distinct(a) || !distinct(b) {
+		return Module{}, false
+	}
+	return Module{Kind: Bitwise, Op: kind, Output: word, Inputs: [][]netlist.NetID{a, b}}, true
+}
+
+// classifyNandMux recognizes the four-NAND mux: out_i = NAND(t1_i, t2_i)
+// with t1_i = NAND(a_i, ns), t2_i = NAND(b_i, s) and ns = NOT(s) shared
+// across all bits (pin order inside the second-level NANDs is free).
+// leg is one second-level NAND of a four-NAND mux: the pair of nets it
+// combines (which of them is data vs control is resolved later).
+type leg struct {
+	data netlist.NetID
+	ctl  netlist.NetID
+}
+
+func classifyNandMux(nl *netlist.Netlist, word []netlist.NetID, drivers []*netlist.Gate) (Module, bool) {
+	legsOf := func(n netlist.NetID) (leg, bool) {
+		d := nl.Net(n).Driver
+		if d == netlist.NoGate {
+			return leg{}, false
+		}
+		g := nl.Gate(d)
+		if g.Kind != logic.Nand || len(g.Inputs) != 2 {
+			return leg{}, false
+		}
+		return leg{data: g.Inputs[0], ctl: g.Inputs[1]}, true
+	}
+	// Collect both second-level legs per bit.
+	type bitLegs struct{ l1, l2 leg }
+	all := make([]bitLegs, len(drivers))
+	for i, g := range drivers {
+		l1, ok1 := legsOf(g.Inputs[0])
+		l2, ok2 := legsOf(g.Inputs[1])
+		if !ok1 || !ok2 {
+			return Module{}, false
+		}
+		all[i] = bitLegs{l1, l2}
+	}
+	// Determine the two shared control nets: for each leg the control can
+	// be on either pin; find the orientation where one net repeats across
+	// all bits for leg1 and another for leg2.
+	candCtl := func(l leg) []netlist.NetID { return []netlist.NetID{l.data, l.ctl} }
+	for _, c1 := range candCtl(all[0].l1) {
+		for _, c2 := range candCtl(all[0].l2) {
+			if c1 == c2 {
+				continue
+			}
+			a := make([]netlist.NetID, len(all))
+			b := make([]netlist.NetID, len(all))
+			ok := true
+			for i, bl := range all {
+				da, okA := otherPin(bl.l1, c1)
+				db, okB := otherPin(bl.l2, c2)
+				if !okA || !okB {
+					ok = false
+					break
+				}
+				a[i] = da
+				b[i] = db
+			}
+			if !ok || !distinct(a) || !distinct(b) {
+				continue
+			}
+			// One control must be the inversion of the other.
+			sel, aw, bw, inv := resolveSelect(nl, c1, c2, a, b)
+			if !inv {
+				continue
+			}
+			return Module{Kind: Mux, Output: word, Select: sel, Inputs: [][]netlist.NetID{aw, bw}}, true
+		}
+	}
+	return Module{}, false
+}
+
+func otherPin(l leg, ctl netlist.NetID) (netlist.NetID, bool) {
+	switch ctl {
+	case l.data:
+		return l.ctl, true
+	case l.ctl:
+		return l.data, true
+	}
+	return netlist.NoNet, false
+}
+
+// resolveSelect orients the four-NAND mux: if c1 = NOT(sel) and c2 = sel,
+// the a-leg is the sel=0 operand. Returns inv=false when neither control is
+// the inversion of the other.
+func resolveSelect(nl *netlist.Netlist, c1, c2 netlist.NetID, a, b []netlist.NetID) (sel netlist.NetID, aw, bw []netlist.NetID, inv bool) {
+	isNotOf := func(x, y netlist.NetID) bool {
+		d := nl.Net(x).Driver
+		if d == netlist.NoGate {
+			return false
+		}
+		g := nl.Gate(d)
+		return g.Kind == logic.Not && g.Inputs[0] == y
+	}
+	if isNotOf(c1, c2) {
+		return c2, a, b, true // c1 = !sel gates the a-leg: sel=0 selects a
+	}
+	if isNotOf(c2, c1) {
+		return c1, b, a, true
+	}
+	return netlist.NoNet, nil, nil, false
+}
+
+// classifyAdder recognizes ripple-carry sums as produced by bit-blasting
+// a + b (shared internal carries): out_i = XOR(x_i, c_i), x_i = XOR(a_i,
+// b_i), with c_1 = AND(a_0, b_0) and c_{i+1} = OR(AND(a_i, b_i),
+// AND(x_i, c_i)); bit 0 folds to out_0 = XOR(a_0, b_0). Incrementers fold
+// further: out_0 = NOT(a_0), carries collapse to AND chains.
+func classifyAdder(nl *netlist.Netlist, word []netlist.NetID, drivers []*netlist.Gate) (Module, bool) {
+	if len(word) < 2 {
+		return Module{}, false
+	}
+	driverOf := func(n netlist.NetID, kind logic.Kind, arity int) *netlist.Gate {
+		d := nl.Net(n).Driver
+		if d == netlist.NoGate {
+			return nil
+		}
+		g := nl.Gate(d)
+		if g.Kind != kind || len(g.Inputs) != arity {
+			return nil
+		}
+		return g
+	}
+	// Try the full adder shape first.
+	a := make([]netlist.NetID, len(word))
+	b := make([]netlist.NetID, len(word))
+	if g0 := drivers[0]; g0.Kind == logic.Xor {
+		a[0], b[0] = g0.Inputs[0], g0.Inputs[1]
+		ok := true
+		for i := 1; i < len(word); i++ {
+			gi := drivers[i]
+			// One operand is the inner XOR(a_i, b_i); the other the carry.
+			var inner *netlist.Gate
+			for pin := 0; pin < 2; pin++ {
+				if g := driverOf(gi.Inputs[pin], logic.Xor, 2); g != nil {
+					inner = g
+					break
+				}
+			}
+			if inner == nil {
+				ok = false
+				break
+			}
+			a[i], b[i] = inner.Inputs[0], inner.Inputs[1]
+		}
+		if ok && distinct(a) && distinct(b) {
+			return Module{Kind: Adder, Output: word, Inputs: [][]netlist.NetID{a, b}}, true
+		}
+	}
+	return classifyIncr(nl, word)
+}
+
+// classifyIncr recognizes the folded a+1 shape: bit 0 driven by NOT(a_0) is
+// handled by the Inv template at word level, so an incrementer word usually
+// arrives without its LSB (the identification pipeline groups bits 1..n-1).
+// The shape is out_i = XOR(a_i, carry_i) with carry_i an AND chain ending in
+// a_0 — or a direct register bit for carry_1.
+func classifyIncr(nl *netlist.Netlist, word []netlist.NetID) (Module, bool) {
+	a := make([]netlist.NetID, len(word))
+	carries := make([]netlist.NetID, len(word))
+	andCarries := 0
+	for i, bit := range word {
+		d := nl.Net(bit).Driver
+		if d == netlist.NoGate {
+			return Module{}, false
+		}
+		g := nl.Gate(d)
+		if g.Kind != logic.Xor || len(g.Inputs) != 2 {
+			return Module{}, false
+		}
+		// The carry operand is the one driven by an AND (the first grouped
+		// bit's carry may be a raw net: the LSB itself).
+		carryPin := -1
+		for pin := 0; pin < 2; pin++ {
+			dd := nl.Net(g.Inputs[pin]).Driver
+			if dd != netlist.NoGate && nl.Gate(dd).Kind == logic.And {
+				carryPin = pin
+			}
+		}
+		if carryPin == -1 {
+			if i != 0 {
+				return Module{}, false // a carry chain must materialize
+			}
+			carryPin = 1 // lowering convention: sum = Xor(a_i, carry)
+		} else {
+			andCarries++
+		}
+		a[i] = g.Inputs[1-carryPin]
+		carries[i] = g.Inputs[carryPin]
+	}
+	// Require real carry-chain evidence: every AND carry must combine the
+	// previous position's data bit (or the previous carry), distinguishing
+	// an incrementer from an arbitrary XOR column.
+	if andCarries == 0 {
+		return Module{}, false
+	}
+	for i := 1; i < len(word); i++ {
+		d := nl.Net(carries[i]).Driver
+		if d == netlist.NoGate || nl.Gate(d).Kind != logic.And {
+			continue
+		}
+		linked := false
+		for _, in := range nl.Gate(d).Inputs {
+			if in == a[i-1] || in == carries[i-1] {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			return Module{}, false
+		}
+	}
+	if !distinct(a) {
+		return Module{}, false
+	}
+	return Module{Kind: Incr, Output: word, Inputs: [][]netlist.NetID{a}}, true
+}

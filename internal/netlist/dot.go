@@ -1,0 +1,49 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+
+	"gatewords/internal/logic"
+)
+
+// WriteDOT renders the netlist as a Graphviz digraph for debugging and
+// documentation figures. Gates are boxes labelled with kind and instance
+// name; primary inputs are ellipses; flip-flops are double boxes.
+func (nl *Netlist) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", nl.Name); err != nil {
+		return err
+	}
+	for ni := range nl.nets {
+		n := &nl.nets[ni]
+		if n.IsPI {
+			if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=ellipse];\n", ni, n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		shape := "box"
+		if g.Kind == logic.DFF {
+			shape = "box3d"
+		}
+		if _, err := fmt.Fprintf(w, "  g%d [label=\"%s\\n%s\" shape=%s];\n", gi, g.Kind, g.Name, shape); err != nil {
+			return err
+		}
+		for _, in := range g.Inputs {
+			src := nl.nets[in].Driver
+			if src == NoGate {
+				if _, err := fmt.Fprintf(w, "  n%d -> g%d [label=%q];\n", in, gi, nl.nets[in].Name); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "  g%d -> g%d [label=%q];\n", src, gi, nl.nets[in].Name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,391 @@
+// Package netlist provides the in-memory representation of a flattened
+// gate-level netlist: named nets, gates with ordered input pins, primary
+// ports, and flip-flops. It preserves the gate declaration order of the
+// source file, which the word-identification front end depends on (the
+// adjacency grouping of DAC'15 §2.2 works on netlist-file line order).
+//
+// The package also defines View, a read-only functional view of a netlist
+// that higher layers (fanin-cone hashing, circuit reduction) share, so that
+// a constant-propagated "reduced circuit" can be analyzed without mutating
+// or cloning the underlying netlist.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"gatewords/internal/logic"
+)
+
+// NetID indexes a net within a Netlist.
+type NetID int32
+
+// GateID indexes a gate within a Netlist.
+type GateID int32
+
+// Sentinel IDs for "no net" / "no gate".
+const (
+	NoNet  NetID  = -1
+	NoGate GateID = -1
+)
+
+// Net is a single wire. A net has at most one driver; nets without a driver
+// are primary inputs (or floating, which Validate rejects unless marked PI).
+type Net struct {
+	Name   string
+	Driver GateID // NoGate if undriven
+	Fanout []GateID
+	IsPI   bool
+	IsPO   bool
+}
+
+// Gate is a cell instance. Inputs are ordered pins; for logic.Mux2 the order
+// is [sel, a, b], for logic.Aoi21/Oai21 it is [a, b, c], for logic.DFF it is
+// [d]. Clock and reset pins are abstracted away: word identification is a
+// purely structural analysis of the data path.
+type Gate struct {
+	Name   string
+	Kind   logic.Kind
+	Inputs []NetID
+	Output NetID
+}
+
+// Netlist is a flattened gate-level design.
+type Netlist struct {
+	Name   string
+	nets   []Net
+	gates  []Gate
+	byName map[string]NetID
+}
+
+// New returns an empty netlist with the given design name.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]NetID)}
+}
+
+// AddNet creates a new net with a unique name and returns its ID.
+func (nl *Netlist) AddNet(name string) (NetID, error) {
+	if name == "" {
+		return NoNet, fmt.Errorf("netlist %s: empty net name", nl.Name)
+	}
+	if _, dup := nl.byName[name]; dup {
+		return NoNet, fmt.Errorf("netlist %s: duplicate net %q", nl.Name, name)
+	}
+	id := NetID(len(nl.nets))
+	nl.nets = append(nl.nets, Net{Name: name, Driver: NoGate})
+	nl.byName[name] = id
+	return id, nil
+}
+
+// MustNet is AddNet for construction code where duplicate names are a
+// programming error.
+func (nl *Netlist) MustNet(name string) NetID {
+	id, err := nl.AddNet(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// EnsureNet returns the existing net named name, creating it if necessary.
+func (nl *Netlist) EnsureNet(name string) NetID {
+	if id, ok := nl.byName[name]; ok {
+		return id
+	}
+	return nl.MustNet(name)
+}
+
+// AddGate appends a gate driving output from inputs. Gate order is
+// preserved; it is the "file order" that the word-identification adjacency
+// pass relies on.
+func (nl *Netlist) AddGate(name string, kind logic.Kind, output NetID, inputs ...NetID) (GateID, error) {
+	if !kind.IsCombinational() && !kind.IsSequential() {
+		return NoGate, fmt.Errorf("netlist %s: gate %q has invalid kind %s", nl.Name, name, kind)
+	}
+	if !kind.ValidArity(len(inputs)) {
+		return NoGate, fmt.Errorf("netlist %s: gate %q: %s with %d inputs", nl.Name, name, kind, len(inputs))
+	}
+	if !nl.validNet(output) {
+		return NoGate, fmt.Errorf("netlist %s: gate %q: bad output net %d", nl.Name, name, output)
+	}
+	if nl.nets[output].Driver != NoGate {
+		return NoGate, fmt.Errorf("netlist %s: gate %q: net %q already driven", nl.Name, name, nl.nets[output].Name)
+	}
+	for _, in := range inputs {
+		if !nl.validNet(in) {
+			return NoGate, fmt.Errorf("netlist %s: gate %q: bad input net %d", nl.Name, name, in)
+		}
+	}
+	id := GateID(len(nl.gates))
+	g := Gate{Name: name, Kind: kind, Inputs: append([]NetID(nil), inputs...), Output: output}
+	nl.gates = append(nl.gates, g)
+	nl.nets[output].Driver = id
+	for _, in := range inputs {
+		nl.nets[in].Fanout = append(nl.nets[in].Fanout, id)
+	}
+	return id, nil
+}
+
+// MustGate is AddGate that panics on error, for construction code.
+func (nl *Netlist) MustGate(name string, kind logic.Kind, output NetID, inputs ...NetID) GateID {
+	id, err := nl.AddGate(name, kind, output, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (nl *Netlist) validNet(id NetID) bool { return id >= 0 && int(id) < len(nl.nets) }
+
+func (nl *Netlist) validGate(id GateID) bool { return id >= 0 && int(id) < len(nl.gates) }
+
+// MarkPI marks a net as a primary input.
+func (nl *Netlist) MarkPI(id NetID) { nl.nets[id].IsPI = true }
+
+// MarkPO marks a net as a primary output.
+func (nl *Netlist) MarkPO(id NetID) { nl.nets[id].IsPO = true }
+
+// NetCount returns the number of nets.
+func (nl *Netlist) NetCount() int { return len(nl.nets) }
+
+// GateCount returns the number of gates (including DFFs).
+func (nl *Netlist) GateCount() int { return len(nl.gates) }
+
+// Net returns the net with the given ID. The pointer stays valid until the
+// next AddNet call.
+func (nl *Netlist) Net(id NetID) *Net { return &nl.nets[id] }
+
+// Gate returns the gate with the given ID. The pointer stays valid until the
+// next AddGate call.
+func (nl *Netlist) Gate(id GateID) *Gate { return &nl.gates[id] }
+
+// NetByName returns the ID of the named net.
+func (nl *Netlist) NetByName(name string) (NetID, bool) {
+	id, ok := nl.byName[name]
+	return id, ok
+}
+
+// NetName returns the name of a net, or "<none>" for NoNet.
+func (nl *Netlist) NetName(id NetID) string {
+	if !nl.validNet(id) {
+		return "<none>"
+	}
+	return nl.nets[id].Name
+}
+
+// PIs returns the primary input nets in ID order.
+func (nl *Netlist) PIs() []NetID {
+	var out []NetID
+	for i := range nl.nets {
+		if nl.nets[i].IsPI {
+			out = append(out, NetID(i))
+		}
+	}
+	return out
+}
+
+// POs returns the primary output nets in ID order.
+func (nl *Netlist) POs() []NetID {
+	var out []NetID
+	for i := range nl.nets {
+		if nl.nets[i].IsPO {
+			out = append(out, NetID(i))
+		}
+	}
+	return out
+}
+
+// DFFs returns the IDs of all flip-flop gates in file order.
+func (nl *Netlist) DFFs() []GateID {
+	var out []GateID
+	for i := range nl.gates {
+		if nl.gates[i].Kind == logic.DFF {
+			out = append(out, GateID(i))
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: pin arities, driver/fanout index
+// consistency, no multiply-driven nets, and that every undriven net is a
+// primary input or a constant tie-off candidate (we require PI).
+func (nl *Netlist) Validate() error {
+	seenGateName := make(map[string]GateID, len(nl.gates))
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		if g.Name != "" {
+			if prev, dup := seenGateName[g.Name]; dup {
+				return fmt.Errorf("netlist %s: duplicate gate name %q (gates %d and %d)", nl.Name, g.Name, prev, gi)
+			}
+			seenGateName[g.Name] = GateID(gi)
+		}
+		if !g.Kind.ValidArity(len(g.Inputs)) {
+			return fmt.Errorf("netlist %s: gate %q: %s with %d inputs", nl.Name, g.Name, g.Kind, len(g.Inputs))
+		}
+		if !nl.validNet(g.Output) {
+			return fmt.Errorf("netlist %s: gate %q: invalid output net", nl.Name, g.Name)
+		}
+		if nl.nets[g.Output].Driver != GateID(gi) {
+			return fmt.Errorf("netlist %s: gate %q: output net %q driver index mismatch", nl.Name, g.Name, nl.nets[g.Output].Name)
+		}
+		for _, in := range g.Inputs {
+			if !nl.validNet(in) {
+				return fmt.Errorf("netlist %s: gate %q: invalid input net", nl.Name, g.Name)
+			}
+		}
+	}
+	for ni := range nl.nets {
+		n := &nl.nets[ni]
+		if n.Driver == NoGate && !n.IsPI {
+			return fmt.Errorf("netlist %s: net %q is undriven and not a primary input", nl.Name, n.Name)
+		}
+		if n.Driver != NoGate {
+			if n.IsPI {
+				return fmt.Errorf("netlist %s: net %q is both driven and a primary input", nl.Name, n.Name)
+			}
+			if !nl.validGate(n.Driver) || nl.gates[n.Driver].Output != NetID(ni) {
+				return fmt.Errorf("netlist %s: net %q: driver index mismatch", nl.Name, n.Name)
+			}
+		}
+		for _, f := range n.Fanout {
+			if !nl.validGate(f) {
+				return fmt.Errorf("netlist %s: net %q: invalid fanout gate", nl.Name, n.Name)
+			}
+			found := false
+			for _, in := range nl.gates[f].Inputs {
+				if in == NetID(ni) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("netlist %s: net %q: fanout gate %q does not read it", nl.Name, n.Name, nl.gates[f].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the netlist.
+func (nl *Netlist) Clone() *Netlist {
+	out := &Netlist{
+		Name:   nl.Name,
+		nets:   make([]Net, len(nl.nets)),
+		gates:  make([]Gate, len(nl.gates)),
+		byName: make(map[string]NetID, len(nl.byName)),
+	}
+	for i, n := range nl.nets {
+		n.Fanout = append([]GateID(nil), n.Fanout...)
+		out.nets[i] = n
+		out.byName[n.Name] = NetID(i)
+	}
+	for i, g := range nl.gates {
+		g.Inputs = append([]NetID(nil), g.Inputs...)
+		out.gates[i] = g
+	}
+	return out
+}
+
+// Stats summarizes a netlist for reporting.
+type Stats struct {
+	Nets     int
+	Gates    int // combinational gates only
+	DFFs     int
+	PIs      int
+	POs      int
+	ByKind   map[logic.Kind]int
+	MaxFanin int
+}
+
+// ComputeStats gathers Stats for the netlist.
+func (nl *Netlist) ComputeStats() Stats {
+	s := Stats{Nets: len(nl.nets), ByKind: make(map[logic.Kind]int)}
+	for i := range nl.gates {
+		g := &nl.gates[i]
+		s.ByKind[g.Kind]++
+		if g.Kind == logic.DFF {
+			s.DFFs++
+		} else {
+			s.Gates++
+		}
+		if len(g.Inputs) > s.MaxFanin {
+			s.MaxFanin = len(g.Inputs)
+		}
+	}
+	for i := range nl.nets {
+		if nl.nets[i].IsPI {
+			s.PIs++
+		}
+		if nl.nets[i].IsPO {
+			s.POs++
+		}
+	}
+	return s
+}
+
+// TopoOrder returns the combinational gates in topological order (inputs
+// before outputs), treating DFF outputs and primary inputs as sources. It
+// returns an error if the combinational logic contains a cycle.
+func (nl *Netlist) TopoOrder() ([]GateID, error) {
+	indeg := make([]int, len(nl.gates))
+	ready := make([]GateID, 0, len(nl.gates))
+	for gi := range nl.gates {
+		g := &nl.gates[gi]
+		if g.Kind == logic.DFF {
+			continue
+		}
+		deg := 0
+		for _, in := range g.Inputs {
+			d := nl.nets[in].Driver
+			if d != NoGate && nl.gates[d].Kind != logic.DFF {
+				deg++
+			}
+		}
+		indeg[gi] = deg
+		if deg == 0 {
+			ready = append(ready, GateID(gi))
+		}
+	}
+	order := make([]GateID, 0, len(nl.gates))
+	for len(ready) > 0 {
+		g := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, g)
+		for _, f := range nl.nets[nl.gates[g].Output].Fanout {
+			if nl.gates[f].Kind == logic.DFF {
+				continue
+			}
+			// A gate may read the same net on several pins; decrement once
+			// per pin occurrence.
+			for _, in := range nl.gates[f].Inputs {
+				if in == nl.gates[g].Output {
+					indeg[f]--
+					if indeg[f] == 0 {
+						ready = append(ready, f)
+					}
+				}
+			}
+		}
+	}
+	want := 0
+	for gi := range nl.gates {
+		if nl.gates[gi].Kind != logic.DFF {
+			want++
+		}
+	}
+	if len(order) != want {
+		return nil, fmt.Errorf("netlist %s: combinational cycle detected (%d of %d gates ordered)", nl.Name, len(order), want)
+	}
+	return order, nil
+}
+
+// SortedNetNames returns all net names sorted; intended for deterministic
+// test output and debugging.
+func (nl *Netlist) SortedNetNames() []string {
+	names := make([]string, len(nl.nets))
+	for i := range nl.nets {
+		names[i] = nl.nets[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

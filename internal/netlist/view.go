@@ -1,0 +1,41 @@
+package netlist
+
+import "gatewords/internal/logic"
+
+// View is a read-only functional view of a (possibly simplified) netlist.
+// The base netlist implements View directly; the circuit reducer implements
+// it as an overlay in which constant-valued nets disappear, dead gates have
+// no driver, and gates with dropped inputs report a rewritten kind (e.g. a
+// 2-input NAND whose second input became non-controlling reports NOT).
+//
+// All structural analyses (fanin cones, hash keys, subtree matching) are
+// written against View so they apply unchanged to reduced circuits.
+type View interface {
+	// DriverOf returns the gate driving net n, or NoGate if the net is a
+	// primary input, is undriven, or has been simplified away.
+	DriverOf(n NetID) GateID
+	// GateKind returns the effective kind of gate g under this view.
+	GateKind(g GateID) logic.Kind
+	// GateInputs appends the surviving input nets of gate g to buf and
+	// returns the extended slice. Pin order is preserved.
+	GateInputs(g GateID, buf []NetID) []NetID
+	// NetConst returns the constant value of net n under this view, if the
+	// view has inferred one.
+	NetConst(n NetID) (logic.Value, bool)
+}
+
+// DriverOf implements View on the unreduced netlist.
+func (nl *Netlist) DriverOf(n NetID) GateID { return nl.nets[n].Driver }
+
+// GateKind implements View on the unreduced netlist.
+func (nl *Netlist) GateKind(g GateID) logic.Kind { return nl.gates[g].Kind }
+
+// GateInputs implements View on the unreduced netlist.
+func (nl *Netlist) GateInputs(g GateID, buf []NetID) []NetID {
+	return append(buf, nl.gates[g].Inputs...)
+}
+
+// NetConst implements View on the unreduced netlist; no net is constant.
+func (nl *Netlist) NetConst(NetID) (logic.Value, bool) { return logic.X, false }
+
+var _ View = (*Netlist)(nil)

@@ -1,0 +1,71 @@
+package propagate
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// TestExpandInvariants fuzzes propagation over random netlists: derived
+// words never contain duplicate nets, never exceed the seed width, and the
+// result is deterministic.
+func TestExpandInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netlist.New("rnd")
+		var nets []netlist.NetID
+		for i := 0; i < 5; i++ {
+			id := nl.MustNet("pi" + string(rune('0'+i)))
+			nl.MarkPI(id)
+			nets = append(nets, id)
+		}
+		kinds := []logic.Kind{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not}
+		for i := 0; i < 20; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			n := 2
+			if k == logic.Not {
+				n = 1
+			}
+			ins := make([]netlist.NetID, n)
+			for j := range ins {
+				ins[j] = nets[rng.Intn(len(nets))]
+			}
+			out := nl.MustNet("n" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+			nl.MustGate("g"+string(rune('a'+i%26))+string(rune('0'+i/26)), k, out, ins...)
+			nets = append(nets, out)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Seed: a random trio of distinct nets.
+		perm := rng.Perm(len(nets))
+		seedWord := []netlist.NetID{nets[perm[0]], nets[perm[1]], nets[perm[2]]}
+		res1 := Expand(nl, [][]netlist.NetID{seedWord}, Options{})
+		res2 := Expand(nl, [][]netlist.NetID{seedWord}, Options{})
+		if len(res1.Words) != len(res2.Words) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+		for wi, w := range res1.Words {
+			if len(w.Bits) != len(seedWord) {
+				t.Fatalf("seed %d: derived word width %d != %d", seed, len(w.Bits), len(seedWord))
+			}
+			dup := map[netlist.NetID]bool{}
+			for _, b := range w.Bits {
+				if dup[b] {
+					t.Fatalf("seed %d: duplicate net in derived word", seed)
+				}
+				dup[b] = true
+			}
+			if len(res2.Words[wi].Bits) != len(w.Bits) {
+				t.Fatalf("seed %d: nondeterministic word %d", seed, wi)
+			}
+			for bi := range w.Bits {
+				if res2.Words[wi].Bits[bi] != w.Bits[bi] {
+					t.Fatalf("seed %d: nondeterministic bits", seed)
+				}
+			}
+		}
+	}
+}

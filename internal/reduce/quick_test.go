@@ -1,0 +1,64 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// TestApplyIdempotent: re-applying the values a reduction inferred yields
+// the same reduction (propagation reaches a fixpoint).
+func TestApplyIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomComb(rng)
+		pi := nl.PIs()[rng.Intn(4)]
+		r1, err := Apply(nl, map[netlist.NetID]logic.Value{pi: logic.One})
+		if err != nil {
+			continue
+		}
+		// Feed every inferred value back in as the assignment.
+		full := map[netlist.NetID]logic.Value{}
+		for id := 0; id < nl.NetCount(); id++ {
+			if v := r1.Value(netlist.NetID(id)); v.Known() {
+				full[netlist.NetID(id)] = v
+			}
+		}
+		r2, err := Apply(nl, full)
+		if err != nil {
+			t.Fatalf("seed %d: fixpoint re-application conflicts: %v", seed, err)
+		}
+		for id := 0; id < nl.NetCount(); id++ {
+			if r1.Value(netlist.NetID(id)) != r2.Value(netlist.NetID(id)) {
+				t.Fatalf("seed %d: not a fixpoint at %s", seed, nl.NetName(netlist.NetID(id)))
+			}
+		}
+	}
+}
+
+// TestApplyMonotone: adding a second compatible assignment never loses
+// inferred values.
+func TestApplyMonotone(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomComb(rng)
+		pis := nl.PIs()
+		a, b := pis[0], pis[1]
+		r1, err := Apply(nl, map[netlist.NetID]logic.Value{a: logic.One})
+		if err != nil {
+			continue
+		}
+		r2, err := Apply(nl, map[netlist.NetID]logic.Value{a: logic.One, b: logic.Zero})
+		if err != nil {
+			continue // the extra pin may genuinely conflict
+		}
+		for id := 0; id < nl.NetCount(); id++ {
+			v1 := r1.Value(netlist.NetID(id))
+			if v1.Known() && r2.Value(netlist.NetID(id)) != v1 {
+				t.Fatalf("seed %d: value lost or flipped at %s", seed, nl.NetName(netlist.NetID(id)))
+			}
+		}
+	}
+}

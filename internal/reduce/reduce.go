@@ -1,0 +1,215 @@
+// Package reduce implements circuit reduction under control-signal value
+// assignments (DAC'15 §2.5): assigned values are propagated forward and
+// backward throughout the netlist until fixpoint; nets with inferred
+// constants and gates with determined outputs are removed; gates left with a
+// single live input collapse to buffers or inverters.
+//
+// A Reduction is an overlay implementing netlist.View — the underlying
+// netlist is never mutated, so many candidate assignments can be explored
+// cheaply. Materialize builds a real simplified netlist when one is needed
+// (for example to hand the reduced circuit to another word-identification
+// tool, the integration path of §2.1).
+package reduce
+
+import (
+	"fmt"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Reduction is the result of propagating an assignment through a netlist.
+// It implements netlist.View over the simplified circuit.
+type Reduction struct {
+	nl       *netlist.Netlist
+	vals     map[netlist.NetID]logic.Value // per-net inferred constant (absent = live)
+	conflict bool
+	// ConflictGate names the gate where a contradiction surfaced, for
+	// diagnostics; empty when the assignment is feasible.
+	ConflictGate string
+
+	effKind map[netlist.GateID]logic.Kind
+	effIns  map[netlist.GateID][]netlist.NetID
+}
+
+// ErrConflict is returned by Apply when an assignment is infeasible: the
+// implied values contradict each other somewhere in the netlist.
+var ErrConflict = fmt.Errorf("reduce: assignment is contradictory")
+
+// Apply propagates assign through nl and returns the resulting overlay.
+// Propagation runs forward (gate inputs determine outputs) and backward
+// (known outputs imply inputs, unit-propagation style) to fixpoint. Values
+// never cross flip-flops: a constant D input says nothing about the stored
+// state in general, and word identification is a combinational analysis.
+func Apply(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value) (*Reduction, error) {
+	r := &Reduction{
+		nl:      nl,
+		vals:    make(map[netlist.NetID]logic.Value, 2*len(assign)+16),
+		effKind: make(map[netlist.GateID]logic.Kind),
+		effIns:  make(map[netlist.GateID][]netlist.NetID),
+	}
+	queue := make([]netlist.NetID, 0, len(assign))
+	for n, v := range assign {
+		if !v.Known() {
+			return nil, fmt.Errorf("reduce: assignment of X to net %q", nl.NetName(n))
+		}
+		if r.vals[n].Known() && r.vals[n] != v {
+			return nil, ErrConflict
+		}
+		if !r.vals[n].Known() {
+			r.vals[n] = v
+			queue = append(queue, n)
+		}
+	}
+	inbuf := make([]logic.Value, 0, 8)
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Forward: every fanout gate may now have a determined output, and
+		// a newly known output may backward-imply sibling inputs.
+		net := nl.Net(n)
+		for _, g := range net.Fanout {
+			queue = r.visitGate(g, queue, &inbuf)
+			if r.conflict {
+				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
+			}
+		}
+		// Backward: the driver of n now has a known output.
+		if net.Driver != netlist.NoGate {
+			queue = r.visitGate(net.Driver, queue, &inbuf)
+			if r.conflict {
+				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
+			}
+		}
+	}
+	return r, nil
+}
+
+// visitGate re-evaluates one gate against current knowledge, performing both
+// forward evaluation and backward implication, and enqueues any nets whose
+// values become known.
+func (r *Reduction) visitGate(g netlist.GateID, queue []netlist.NetID, inbuf *[]logic.Value) []netlist.NetID {
+	gate := r.nl.Gate(g)
+	if gate.Kind == logic.DFF {
+		return queue // constants do not cross sequential elements
+	}
+	in := (*inbuf)[:0]
+	for _, id := range gate.Inputs {
+		in = append(in, r.vals[id])
+	}
+	*inbuf = in
+
+	// Forward.
+	out := logic.Eval(gate.Kind, in)
+	cur := r.vals[gate.Output]
+	if out.Known() {
+		if cur.Known() && cur != out {
+			r.conflict = true
+			r.ConflictGate = gate.Name
+			return queue
+		}
+		if !cur.Known() {
+			r.vals[gate.Output] = out
+			queue = append(queue, gate.Output)
+			cur = out
+		}
+	}
+
+	// Backward.
+	if cur.Known() {
+		newly, bad := logic.ImplyInputs(gate.Kind, cur, in)
+		if bad {
+			r.conflict = true
+			r.ConflictGate = gate.Name
+			return queue
+		}
+		if newly > 0 {
+			for i, id := range gate.Inputs {
+				if in[i].Known() && !r.vals[id].Known() {
+					r.vals[id] = in[i]
+					queue = append(queue, id)
+				}
+			}
+		}
+	}
+	return queue
+}
+
+// Value returns the inferred constant for a net (X if the net is live).
+func (r *Reduction) Value(n netlist.NetID) logic.Value { return r.vals[n] }
+
+// AssignedCount returns the number of nets with inferred constants.
+func (r *Reduction) AssignedCount() int {
+	c := 0
+	for _, v := range r.vals {
+		if v.Known() {
+			c++
+		}
+	}
+	return c
+}
+
+// RemovedGateCount returns the number of combinational gates whose output
+// became constant (and which therefore disappear from the reduced circuit).
+func (r *Reduction) RemovedGateCount() int {
+	c := 0
+	for gi := 0; gi < r.nl.GateCount(); gi++ {
+		g := r.nl.Gate(netlist.GateID(gi))
+		if g.Kind != logic.DFF && r.vals[g.Output].Known() {
+			c++
+		}
+	}
+	return c
+}
+
+// --- netlist.View implementation -------------------------------------------
+
+// NetConst implements netlist.View.
+func (r *Reduction) NetConst(n netlist.NetID) (logic.Value, bool) {
+	v := r.vals[n]
+	return v, v.Known()
+}
+
+// DriverOf implements netlist.View: constant nets and outputs of removed
+// gates have no driver in the reduced circuit.
+func (r *Reduction) DriverOf(n netlist.NetID) netlist.GateID {
+	if r.vals[n].Known() {
+		return netlist.NoGate
+	}
+	return r.nl.Net(n).Driver
+}
+
+// GateKind implements netlist.View, reporting the rewritten kind (e.g. a
+// NAND reduced to a single live input reports NOT).
+func (r *Reduction) GateKind(g netlist.GateID) logic.Kind {
+	if k, ok := r.effKind[g]; ok {
+		return k
+	}
+	k, ins := r.effective(g)
+	r.effKind[g] = k
+	r.effIns[g] = ins
+	return k
+}
+
+// GateInputs implements netlist.View, returning only the live input pins of
+// the rewritten gate.
+func (r *Reduction) GateInputs(g netlist.GateID, buf []netlist.NetID) []netlist.NetID {
+	if ins, ok := r.effIns[g]; ok {
+		return append(buf, ins...)
+	}
+	k, ins := r.effective(g)
+	r.effKind[g] = k
+	r.effIns[g] = ins
+	return append(buf, ins...)
+}
+
+func (r *Reduction) effective(g netlist.GateID) (logic.Kind, []netlist.NetID) {
+	gate := r.nl.Gate(g)
+	kind, ins, _ := SimplifyGate(gate.Kind, gate.Inputs, func(n netlist.NetID) logic.Value {
+		return r.vals[n]
+	})
+	return kind, ins
+}
+
+var _ netlist.View = (*Reduction)(nil)

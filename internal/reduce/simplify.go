@@ -1,0 +1,144 @@
+package reduce
+
+import (
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// SimplifyGate computes the rewritten form of one gate given per-net
+// constant knowledge. It returns the effective kind, the effective input
+// pins, and — when the known inputs determine the output — the constant
+// output value (logic.X otherwise, in which case the kind/pins describe the
+// surviving gate).
+//
+// Rewrites follow §2.5: known non-controlling inputs of AND/OR/NAND/NOR are
+// dropped; a gate left with a single input becomes a buffer or inverter;
+// known inputs of parity gates flip XOR<->XNOR; a mux with a known select
+// becomes a buffer; AOI21/OAI21 decay into their NAND/NOR/NOT residues. A
+// MUX2 with an unknown select and exactly one known data pin keeps all three
+// pins (the constant pin renders as a leaf in structural keys); rewriting it
+// to AND/OR residues would require synthesizing new inverters, which an
+// overlay cannot do.
+func SimplifyGate(k logic.Kind, ins []netlist.NetID, val func(netlist.NetID) logic.Value) (logic.Kind, []netlist.NetID, logic.Value) {
+	if k == logic.DFF {
+		return logic.DFF, append([]netlist.NetID(nil), ins...), logic.X
+	}
+	vals := make([]logic.Value, len(ins))
+	anyKnown := false
+	for i, id := range ins {
+		vals[i] = val(id)
+		if vals[i].Known() {
+			anyKnown = true
+		}
+	}
+	out := logic.Eval(k, vals)
+	if out.Known() {
+		return k, nil, out
+	}
+	if !anyKnown {
+		return k, append([]netlist.NetID(nil), ins...), logic.X
+	}
+
+	switch k {
+	case logic.Buf, logic.Not:
+		// Input unknown (otherwise the output would be known).
+		return k, append([]netlist.NetID(nil), ins...), logic.X
+
+	case logic.And, logic.Or, logic.Nand, logic.Nor:
+		live := liveInputs(ins, vals)
+		if len(live) == 1 {
+			switch k {
+			case logic.And, logic.Or:
+				return logic.Buf, live, logic.X
+			default:
+				return logic.Not, live, logic.X
+			}
+		}
+		return k, live, logic.X
+
+	case logic.Xor, logic.Xnor:
+		live := liveInputs(ins, vals)
+		kk := k
+		for _, v := range vals {
+			if v == logic.One {
+				if kk == logic.Xor {
+					kk = logic.Xnor
+				} else {
+					kk = logic.Xor
+				}
+			}
+		}
+		if len(live) == 1 {
+			if kk == logic.Xor {
+				return logic.Buf, live, logic.X
+			}
+			return logic.Not, live, logic.X
+		}
+		return kk, live, logic.X
+
+	case logic.Mux2:
+		sel, a, b := ins[0], ins[1], ins[2]
+		vs, va, vb := vals[0], vals[1], vals[2]
+		switch vs {
+		case logic.Zero:
+			return resimplify(logic.Buf, []netlist.NetID{a}, val)
+		case logic.One:
+			return resimplify(logic.Buf, []netlist.NetID{b}, val)
+		}
+		if va.Known() && vb.Known() {
+			// va != vb, otherwise the output would be known.
+			if va == logic.Zero {
+				return logic.Buf, []netlist.NetID{sel}, logic.X
+			}
+			return logic.Not, []netlist.NetID{sel}, logic.X
+		}
+		return logic.Mux2, append([]netlist.NetID(nil), ins...), logic.X
+
+	case logic.Aoi21: // !((a&b) | c)
+		a, b, c := ins[0], ins[1], ins[2]
+		va, vb, vc := vals[0], vals[1], vals[2]
+		switch {
+		case vc == logic.Zero:
+			return resimplify(logic.Nand, []netlist.NetID{a, b}, val)
+		case va == logic.One:
+			return resimplify(logic.Nor, []netlist.NetID{b, c}, val)
+		case vb == logic.One:
+			return resimplify(logic.Nor, []netlist.NetID{a, c}, val)
+		case va == logic.Zero || vb == logic.Zero:
+			return resimplify(logic.Not, []netlist.NetID{c}, val)
+		}
+		return logic.Aoi21, append([]netlist.NetID(nil), ins...), logic.X
+
+	case logic.Oai21: // !((a|b) & c)
+		a, b, c := ins[0], ins[1], ins[2]
+		va, vb, vc := vals[0], vals[1], vals[2]
+		switch {
+		case vc == logic.One:
+			return resimplify(logic.Nor, []netlist.NetID{a, b}, val)
+		case va == logic.Zero:
+			return resimplify(logic.Nand, []netlist.NetID{b, c}, val)
+		case vb == logic.Zero:
+			return resimplify(logic.Nand, []netlist.NetID{a, c}, val)
+		case va == logic.One || vb == logic.One:
+			return resimplify(logic.Not, []netlist.NetID{c}, val)
+		}
+		return logic.Oai21, append([]netlist.NetID(nil), ins...), logic.X
+	}
+	return k, append([]netlist.NetID(nil), ins...), logic.X
+}
+
+// resimplify re-runs SimplifyGate on a rewritten gate so cascaded knowledge
+// (e.g. AOI21 with c=0 and a=1) fully collapses.
+func resimplify(k logic.Kind, ins []netlist.NetID, val func(netlist.NetID) logic.Value) (logic.Kind, []netlist.NetID, logic.Value) {
+	return SimplifyGate(k, ins, val)
+}
+
+func liveInputs(ins []netlist.NetID, vals []logic.Value) []netlist.NetID {
+	live := make([]netlist.NetID, 0, len(ins))
+	for i, id := range ins {
+		if !vals[i].Known() {
+			live = append(live, id)
+		}
+	}
+	return live
+}

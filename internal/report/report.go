@@ -1,0 +1,78 @@
+// Package report serializes identification results into stable
+// machine-readable JSON for tooling built on top of the wordid CLI.
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Document is the top-level JSON payload.
+type Document struct {
+	// Tool identifies the producer ("gatewords").
+	Tool string `json:"tool"`
+	// Module is the design name.
+	Module string `json:"module"`
+	// Technique is "control-signals", "shape-hashing", or "functional".
+	Technique string `json:"technique"`
+	// Stats summarizes the design.
+	Stats Stats `json:"stats"`
+	// Words are the identified words (multi-bit only unless IncludeAll).
+	Words []Word `json:"words"`
+	// ControlSignalsUsed / Found mirror the paper's control-signal column.
+	ControlSignalsUsed  []string `json:"control_signals_used,omitempty"`
+	ControlSignalsFound []string `json:"control_signals_found,omitempty"`
+	// Evaluation is present when golden reference words were available.
+	Evaluation *Evaluation `json:"evaluation,omitempty"`
+	// Runtime is the identification wall time in seconds.
+	Runtime float64 `json:"runtime_seconds"`
+}
+
+// Stats mirrors the design statistics.
+type Stats struct {
+	Nets  int `json:"nets"`
+	Gates int `json:"gates"`
+	DFFs  int `json:"dffs"`
+	PIs   int `json:"inputs"`
+	POs   int `json:"outputs"`
+}
+
+// Word is one identified word.
+type Word struct {
+	Bits           []string       `json:"bits"`
+	Verified       bool           `json:"verified"`
+	ControlSignals []string       `json:"control_signals,omitempty"`
+	Assignment     map[string]int `json:"assignment,omitempty"`
+}
+
+// Evaluation mirrors the paper's three metrics.
+type Evaluation struct {
+	ReferenceWords    int               `json:"reference_words"`
+	FullyFound        int               `json:"fully_found"`
+	PartiallyFound    int               `json:"partially_found"`
+	NotFound          int               `json:"not_found"`
+	FullyFoundPct     float64           `json:"fully_found_pct"`
+	NotFoundPct       float64           `json:"not_found_pct"`
+	FragmentationRate float64           `json:"fragmentation_rate"`
+	PerWord           map[string]string `json:"per_word,omitempty"`
+}
+
+// Write emits the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// SetRuntime records a measured duration.
+func (d *Document) SetRuntime(dur time.Duration) { d.Runtime = dur.Seconds() }
+
+// Read parses a document (for tests and downstream tools).
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	doc := &Document{
+		Tool:      "gatewords",
+		Module:    "m",
+		Technique: "control-signals",
+		Stats:     Stats{Nets: 10, Gates: 5, DFFs: 2, PIs: 3, POs: 1},
+		Words: []Word{
+			{Bits: []string{"a", "b"}, Verified: true,
+				ControlSignals: []string{"k"}, Assignment: map[string]int{"k": 0}},
+		},
+		ControlSignalsUsed: []string{"k"},
+		Evaluation: &Evaluation{
+			ReferenceWords: 1, FullyFound: 1, FullyFoundPct: 100,
+			PerWord: map[string]string{"w_reg": "fully-found"},
+		},
+	}
+	doc.SetRuntime(1500 * time.Millisecond)
+	var sb strings.Builder
+	if err := doc.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`"tool": "gatewords"`, `"fully_found_pct": 100`, `"runtime_seconds": 1.5`, `"assignment"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON missing %q:\n%s", frag, out)
+		}
+	}
+	back, err := Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Module != "m" || len(back.Words) != 1 || back.Words[0].Assignment["k"] != 0 {
+		t.Errorf("round trip: %+v", back)
+	}
+	if back.Evaluation == nil || back.Evaluation.PerWord["w_reg"] != "fully-found" {
+		t.Errorf("evaluation lost: %+v", back.Evaluation)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package rtl
+
+import "fmt"
+
+// Signal declares a named input port.
+type Signal struct {
+	Name  string
+	Width int
+}
+
+// Wire is a named shared combinational signal. Exactly one of Expr (word
+// level) or Bits (explicit per-bit structure) must be set; Width is required
+// when Bits is used and optional (inferred) with Expr.
+type Wire struct {
+	Name  string
+	Width int
+	Expr  Expr
+	Bits  []BitExpr
+}
+
+// Reg is a register. Exactly one of Next (word level) or NextBits must be
+// set. The synthesizer names each flip-flop output net "<Name>_reg[i]",
+// preserving register names the way the paper's synthesis setup does.
+type Reg struct {
+	Name     string
+	Width    int
+	Next     Expr
+	NextBits []BitExpr
+}
+
+// Output declares a primary output driven by an expression.
+type Output struct {
+	Name string
+	Expr Expr
+}
+
+// Design is a complete RTL description.
+type Design struct {
+	Name    string
+	Inputs  []Signal
+	Wires   []Wire
+	Regs    []*Reg
+	Outputs []Output
+}
+
+// Widths returns the signal-name-to-width table covering inputs, wires, and
+// register outputs. Duplicate names are reported as an error.
+func (d *Design) Widths() (map[string]int, error) {
+	w := make(map[string]int)
+	add := func(name string, width int, what string) error {
+		if name == "" {
+			return fmt.Errorf("rtl %s: empty %s name", d.Name, what)
+		}
+		if width < 1 {
+			return fmt.Errorf("rtl %s: %s %q has width %d", d.Name, what, name, width)
+		}
+		if _, dup := w[name]; dup {
+			return fmt.Errorf("rtl %s: duplicate signal name %q", d.Name, name)
+		}
+		w[name] = width
+		return nil
+	}
+	for _, in := range d.Inputs {
+		if err := add(in.Name, in.Width, "input"); err != nil {
+			return nil, err
+		}
+	}
+	for i := range d.Wires {
+		wire := &d.Wires[i]
+		width := wire.Width
+		if width == 0 && len(wire.Bits) > 0 {
+			width = len(wire.Bits)
+		}
+		if err := add(wire.Name, max(width, 1), "wire"); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range d.Regs {
+		if err := add(r.Name, r.Width, "register"); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Validate checks that every expression is well formed and width-consistent.
+// Wires may reference wires declared earlier in the list (and inputs and
+// registers anywhere); cycles among wires are rejected by that ordering
+// rule.
+func (d *Design) Validate() error {
+	widths, err := d.Widths()
+	if err != nil {
+		return err
+	}
+	// Wire expressions may only use inputs, registers, and earlier wires.
+	visible := make(map[string]int)
+	for _, in := range d.Inputs {
+		visible[in.Name] = widths[in.Name]
+	}
+	for _, r := range d.Regs {
+		visible[r.Name] = widths[r.Name]
+	}
+	for i := range d.Wires {
+		wire := &d.Wires[i]
+		switch {
+		case wire.Expr != nil && wire.Bits != nil:
+			return fmt.Errorf("rtl %s: wire %q has both Expr and Bits", d.Name, wire.Name)
+		case wire.Expr != nil:
+			w, err := exprWidth(wire.Expr, visible)
+			if err != nil {
+				return fmt.Errorf("rtl %s: wire %q: %w", d.Name, wire.Name, err)
+			}
+			if wire.Width != 0 && wire.Width != w {
+				return fmt.Errorf("rtl %s: wire %q declared width %d but expression is %d bits", d.Name, wire.Name, wire.Width, w)
+			}
+		case wire.Bits != nil:
+			for bi, be := range wire.Bits {
+				if err := validateBitExpr(be, visible); err != nil {
+					return fmt.Errorf("rtl %s: wire %q bit %d: %w", d.Name, wire.Name, bi, err)
+				}
+			}
+		default:
+			return fmt.Errorf("rtl %s: wire %q has neither Expr nor Bits", d.Name, wire.Name)
+		}
+		visible[wire.Name] = widths[wire.Name]
+	}
+	for _, r := range d.Regs {
+		switch {
+		case r.Next != nil && r.NextBits != nil:
+			return fmt.Errorf("rtl %s: register %q has both Next and NextBits", d.Name, r.Name)
+		case r.Next != nil:
+			w, err := exprWidth(r.Next, visible)
+			if err != nil {
+				return fmt.Errorf("rtl %s: register %q: %w", d.Name, r.Name, err)
+			}
+			if w != r.Width {
+				return fmt.Errorf("rtl %s: register %q is %d bits but next-state is %d bits", d.Name, r.Name, r.Width, w)
+			}
+		case r.NextBits != nil:
+			if len(r.NextBits) != r.Width {
+				return fmt.Errorf("rtl %s: register %q is %d bits but has %d next-state bits", d.Name, r.Name, r.Width, len(r.NextBits))
+			}
+			for bi, be := range r.NextBits {
+				if err := validateBitExpr(be, visible); err != nil {
+					return fmt.Errorf("rtl %s: register %q bit %d: %w", d.Name, r.Name, bi, err)
+				}
+			}
+		default:
+			return fmt.Errorf("rtl %s: register %q has no next-state", d.Name, r.Name)
+		}
+	}
+	for _, o := range d.Outputs {
+		if o.Name == "" {
+			return fmt.Errorf("rtl %s: output with empty name", d.Name)
+		}
+		if _, err := exprWidth(o.Expr, visible); err != nil {
+			return fmt.Errorf("rtl %s: output %q: %w", d.Name, o.Name, err)
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

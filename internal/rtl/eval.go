@@ -1,0 +1,232 @@
+package rtl
+
+import (
+	"fmt"
+
+	"gatewords/internal/logic"
+)
+
+// Env holds bit values for named signals during reference evaluation: each
+// signal maps to a slice of per-bit values (index 0 = LSB).
+type Env map[string][]logic.Value
+
+// Clone returns a deep copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = append([]logic.Value(nil), v...)
+	}
+	return out
+}
+
+// EvalStep computes one clock cycle of the design under the reference
+// semantics: env must contain values for every input and every register
+// (the current state). It returns the wire values, the next register
+// values, and the output values. This evaluator is the specification the
+// synthesized netlist is tested against.
+func (d *Design) EvalStep(env Env) (wires Env, nextRegs Env, outs Env, err error) {
+	scope := env.Clone()
+	wires = make(Env)
+	for i := range d.Wires {
+		w := &d.Wires[i]
+		var vals []logic.Value
+		if w.Expr != nil {
+			vals, err = evalExpr(w.Expr, scope)
+		} else {
+			vals = make([]logic.Value, len(w.Bits))
+			for bi, be := range w.Bits {
+				vals[bi], err = evalBit(be, scope)
+				if err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("rtl %s: wire %q: %w", d.Name, w.Name, err)
+		}
+		scope[w.Name] = vals
+		wires[w.Name] = vals
+	}
+	nextRegs = make(Env)
+	for _, r := range d.Regs {
+		var vals []logic.Value
+		if r.Next != nil {
+			vals, err = evalExpr(r.Next, scope)
+		} else {
+			vals = make([]logic.Value, len(r.NextBits))
+			for bi, be := range r.NextBits {
+				vals[bi], err = evalBit(be, scope)
+				if err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("rtl %s: register %q: %w", d.Name, r.Name, err)
+		}
+		nextRegs[r.Name] = vals
+	}
+	outs = make(Env)
+	for _, o := range d.Outputs {
+		vals, err := evalExpr(o.Expr, scope)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("rtl %s: output %q: %w", d.Name, o.Name, err)
+		}
+		outs[o.Name] = vals
+	}
+	return wires, nextRegs, outs, nil
+}
+
+func evalBit(e BitExpr, scope Env) (logic.Value, error) {
+	switch n := e.(type) {
+	case BRef:
+		vals, ok := scope[n.Name]
+		if !ok {
+			return logic.X, fmt.Errorf("undefined signal %q", n.Name)
+		}
+		if n.Bit < 0 || n.Bit >= len(vals) {
+			return logic.X, fmt.Errorf("bit %d out of range for %q", n.Bit, n.Name)
+		}
+		return vals[n.Bit], nil
+	case BConst:
+		return logic.FromBool(n.V), nil
+	case BOp:
+		args := make([]logic.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := evalBit(a, scope)
+			if err != nil {
+				return logic.X, err
+			}
+			args[i] = v
+		}
+		return logic.Eval(n.Kind, args), nil
+	default:
+		return logic.X, fmt.Errorf("unknown bit expression %T", e)
+	}
+}
+
+func evalExpr(e Expr, scope Env) ([]logic.Value, error) {
+	switch n := e.(type) {
+	case Ref:
+		vals, ok := scope[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("undefined signal %q", n.Name)
+		}
+		return append([]logic.Value(nil), vals...), nil
+	case Const:
+		out := make([]logic.Value, len(n.Bits))
+		for i, b := range n.Bits {
+			out[i] = logic.FromBool(b)
+		}
+		return out, nil
+	case Not:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a {
+			a[i] = a[i].Not()
+		}
+		return a, nil
+	case Bin:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		b, err := evalExpr(n.B, scope)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("width mismatch in %s", n.Kind)
+		}
+		out := make([]logic.Value, len(a))
+		for i := range a {
+			out[i] = logic.Eval(n.Kind, []logic.Value{a[i], b[i]})
+		}
+		return out, nil
+	case Add:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		b, err := evalExpr(n.B, scope)
+		if err != nil {
+			return nil, err
+		}
+		return rippleAdd(a, b, logic.Zero), nil
+	case Inc:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]logic.Value, len(a))
+		for i := range b {
+			b[i] = logic.Zero
+		}
+		return rippleAdd(a, b, logic.One), nil
+	case Mux:
+		sel, err := evalExpr(n.Sel, scope)
+		if err != nil {
+			return nil, err
+		}
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		b, err := evalExpr(n.B, scope)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]logic.Value, len(a))
+		for i := range a {
+			out[i] = logic.Eval(logic.Mux2, []logic.Value{sel[0], a[i], b[i]})
+		}
+		return out, nil
+	case Concat:
+		var out []logic.Value
+		for _, p := range n.Parts {
+			vals, err := evalExpr(p, scope)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vals...)
+		}
+		return out, nil
+	case EqConst:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		acc := logic.One
+		for i, v := range a {
+			want := logic.FromBool(n.K>>uint(i)&1 == 1)
+			bitEq := logic.Eval(logic.Xnor, []logic.Value{v, want})
+			acc = logic.Eval(logic.And, []logic.Value{acc, bitEq})
+		}
+		return []logic.Value{acc}, nil
+	case RedOr:
+		a, err := evalExpr(n.A, scope)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) == 1 {
+			return a, nil
+		}
+		return []logic.Value{logic.Eval(logic.Or, a)}, nil
+	default:
+		return nil, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func rippleAdd(a, b []logic.Value, carry logic.Value) []logic.Value {
+	out := make([]logic.Value, len(a))
+	for i := range a {
+		axb := logic.Eval(logic.Xor, []logic.Value{a[i], b[i]})
+		out[i] = logic.Eval(logic.Xor, []logic.Value{axb, carry})
+		ab := logic.Eval(logic.And, []logic.Value{a[i], b[i]})
+		ac := logic.Eval(logic.And, []logic.Value{axb, carry})
+		carry = logic.Eval(logic.Or, []logic.Value{ab, ac})
+	}
+	return out
+}

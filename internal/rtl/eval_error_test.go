@@ -1,0 +1,198 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+// evalDesign wraps EvalStep for error-path tests.
+func evalErr(t *testing.T, d *Design, env Env) error {
+	t.Helper()
+	_, _, _, err := d.EvalStep(env)
+	return err
+}
+
+func TestEvalStepErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *Design
+		env  Env
+		frag string
+	}{
+		{
+			"wire undefined ref",
+			&Design{Name: "d", Wires: []Wire{{Name: "w", Width: 1, Expr: Ref{Name: "ghost"}}}},
+			Env{},
+			"undefined signal",
+		},
+		{
+			"wire bad bit ref",
+			&Design{Name: "d",
+				Inputs: []Signal{{Name: "a", Width: 2}},
+				Wires:  []Wire{{Name: "w", Width: 1, Bits: []BitExpr{Bit("a", 7)}}}},
+			Env{"a": vals(0, 1)},
+			"out of range",
+		},
+		{
+			"reg undefined",
+			&Design{Name: "d", Regs: []*Reg{{Name: "r", Width: 1, Next: Ref{Name: "nope"}}}},
+			Env{"r": vals(0)},
+			"undefined signal",
+		},
+		{
+			"output undefined",
+			&Design{Name: "d", Outputs: []Output{{Name: "o", Expr: Ref{Name: "nope"}}}},
+			Env{},
+			"undefined signal",
+		},
+		{
+			"bin width mismatch at eval",
+			&Design{Name: "d",
+				Inputs: []Signal{{Name: "a", Width: 2}, {Name: "b", Width: 3}},
+				Outputs: []Output{{Name: "o",
+					Expr: Bin{Kind: logic.And, A: Ref{Name: "a"}, B: Ref{Name: "b"}}}}},
+			Env{"a": vals(0, 1), "b": vals(1, 1, 0)},
+			"width mismatch",
+		},
+	}
+	for _, c := range cases {
+		err := evalErr(t, c.d, c.env)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: %q missing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestEvalBitOps(t *testing.T) {
+	d := &Design{
+		Name:   "ops",
+		Inputs: []Signal{{Name: "a", Width: 1}, {Name: "b", Width: 1}, {Name: "c", Width: 1}},
+		Wires: []Wire{
+			{Name: "w1", Width: 1, Bits: []BitExpr{B(logic.Aoi21, Bit("a", 0), Bit("b", 0), Bit("c", 0))}},
+			{Name: "w2", Width: 1, Bits: []BitExpr{B(logic.Oai21, Bit("a", 0), Bit("b", 0), Bit("c", 0))}},
+			{Name: "w3", Width: 1, Bits: []BitExpr{B(logic.Mux2, Bit("c", 0), Bit("a", 0), Bit("b", 0))}},
+			{Name: "w4", Width: 1, Bits: []BitExpr{BConst{V: true}}},
+		},
+		Regs: []*Reg{{Name: "r", Width: 1, Next: Ref{Name: "w4"}}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wires, _, _, err := d.EvalStep(Env{"a": vals(1), "b": vals(1), "c": vals(0), "r": vals(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wires["w1"][0] != logic.Zero { // !((1&1)|0) = 0
+		t.Errorf("aoi21 = %s", wires["w1"][0])
+	}
+	if wires["w2"][0] != logic.One { // !((1|1)&0) = 1
+		t.Errorf("oai21 = %s", wires["w2"][0])
+	}
+	if wires["w3"][0] != logic.One { // c=0 selects a=1
+		t.Errorf("mux2 = %s", wires["w3"][0])
+	}
+	if wires["w4"][0] != logic.One {
+		t.Errorf("const = %s", wires["w4"][0])
+	}
+}
+
+func TestEvalExprNotXorXnor(t *testing.T) {
+	d := &Design{
+		Name:   "x",
+		Inputs: []Signal{{Name: "a", Width: 2}, {Name: "b", Width: 2}},
+		Outputs: []Output{
+			{Name: "nx", Expr: Bin{Kind: logic.Xnor, A: Ref{Name: "a"}, B: Ref{Name: "b"}}},
+			{Name: "nn", Expr: Bin{Kind: logic.Nand, A: Ref{Name: "a"}, B: Ref{Name: "b"}}},
+			{Name: "nr", Expr: Bin{Kind: logic.Nor, A: Ref{Name: "a"}, B: Ref{Name: "b"}}},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, outs, err := d.EvalStep(Env{"a": vals(1, 0), "b": vals(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs["nx"][0] != logic.One || outs["nx"][1] != logic.Zero {
+		t.Errorf("xnor: %v", outs["nx"])
+	}
+	if outs["nn"][0] != logic.Zero || outs["nn"][1] != logic.One {
+		t.Errorf("nand: %v", outs["nn"])
+	}
+	if outs["nr"][0] != logic.Zero || outs["nr"][1] != logic.Zero {
+		t.Errorf("nor: %v", outs["nr"])
+	}
+}
+
+func TestEvalEqConstMismatchBits(t *testing.T) {
+	d := &Design{
+		Name:    "e",
+		Inputs:  []Signal{{Name: "a", Width: 3}},
+		Outputs: []Output{{Name: "o", Expr: EqConst{A: Ref{Name: "a"}, K: 5}}},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		_, _, outs, err := d.EvalStep(Env{"a": constVals(v, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := logic.FromBool(v == 5)
+		if outs["o"][0] != want {
+			t.Errorf("EqConst(%d==5) = %s", v, outs["o"][0])
+		}
+	}
+}
+
+func TestWidthsErrors(t *testing.T) {
+	d := &Design{Name: "d", Inputs: []Signal{{Name: "", Width: 1}}}
+	if _, err := d.Widths(); err == nil {
+		t.Error("empty input name accepted")
+	}
+	d = &Design{Name: "d", Inputs: []Signal{{Name: "a", Width: 0}}}
+	if _, err := d.Widths(); err == nil {
+		t.Error("zero width accepted")
+	}
+	d = &Design{Name: "d", Regs: []*Reg{{Name: "r", Width: -1}}}
+	if _, err := d.Widths(); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestValidateWireDeclaredWidthMismatch(t *testing.T) {
+	d := &Design{
+		Name:   "d",
+		Inputs: []Signal{{Name: "a", Width: 2}},
+		Wires:  []Wire{{Name: "w", Width: 3, Expr: Ref{Name: "a"}}},
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("wire width mismatch accepted")
+	}
+}
+
+func TestValidateEmptyConcatAndConst(t *testing.T) {
+	d := &Design{Name: "d", Regs: []*Reg{{Name: "r", Width: 1, Next: Concat{}}}}
+	if err := d.Validate(); err == nil {
+		t.Error("empty concat accepted")
+	}
+	d = &Design{Name: "d", Regs: []*Reg{{Name: "r", Width: 1, Next: Const{}}}}
+	if err := d.Validate(); err == nil {
+		t.Error("empty const accepted")
+	}
+	d = &Design{Name: "d", Regs: []*Reg{{Name: "r", Width: 1, Next: nil, NextBits: nil}}}
+	if err := d.Validate(); err == nil {
+		t.Error("nil next accepted")
+	}
+	d = &Design{Name: "d", Regs: []*Reg{{Name: "r", Width: 1,
+		Next: Bin{Kind: logic.Buf, A: Const{Bits: []bool{true}}, B: Const{Bits: []bool{true}}}}}}
+	if err := d.Validate(); err == nil {
+		t.Error("Bin with BUF kind accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Package shapehash implements the baseline word-identification technique
+// that DAC'15 Table 1 calls "Base": the shape-hashing matcher in the style
+// of WordRev (Li et al., HOST'13). It shares the adjacency grouping and
+// hash-key machinery with the control-signal technique but considers only
+// the un-simplified netlist structure and groups only bits whose fanin
+// cones match fully.
+package shapehash
+
+import (
+	"gatewords/internal/cone"
+	"gatewords/internal/group"
+	"gatewords/internal/netlist"
+)
+
+// Result holds the generated word set of the baseline.
+type Result struct {
+	Words  [][]netlist.NetID
+	Groups int // first-level adjacency groups visited
+	Bits   int // candidate bits with analyzable cones
+}
+
+// Identify runs shape hashing on nl with the given fanin-cone depth
+// (cone.DefaultDepth when depth <= 0).
+func Identify(nl *netlist.Netlist, depth int) *Result {
+	groups := group.Adjacent(nl, group.Options{})
+	it := cone.NewInterner()
+	b := cone.NewBuilder(nl, it, depth)
+	res := &Result{Groups: len(groups)}
+	for _, g := range groups {
+		var prev *cone.BitCone
+		var run []netlist.NetID
+		flush := func() {
+			if len(run) > 0 {
+				res.Words = append(res.Words, run)
+				run = nil
+			}
+		}
+		for _, net := range g {
+			bc := b.Bit(net)
+			if bc == nil {
+				flush()
+				prev = nil
+				continue
+			}
+			res.Bits++
+			if prev == nil || !cone.FullMatch(prev, bc) {
+				flush()
+			}
+			run = append(run, net)
+			prev = bc
+		}
+		flush()
+	}
+	return res
+}

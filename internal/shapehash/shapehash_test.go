@@ -1,0 +1,178 @@
+package shapehash
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// uniformWord drives n bits with structurally identical cones:
+// bit_i = NAND(NAND(a_i, s), NAND(b_i, s2)).
+func uniformWord(t *testing.T, nl *netlist.Netlist, prefix string, n int, s, s2 netlist.NetID) []netlist.NetID {
+	t.Helper()
+	var bits []netlist.NetID
+	var roots []struct{ x, y netlist.NetID }
+	for i := 0; i < n; i++ {
+		sfx := prefix + string(rune('0'+i))
+		a := nl.MustNet("a" + sfx)
+		nl.MarkPI(a)
+		b := nl.MustNet("b" + sfx)
+		nl.MarkPI(b)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, s)
+		y := nl.MustNet("y" + sfx)
+		nl.MustGate("gy"+sfx, logic.Nand, y, b, s2)
+		roots = append(roots, struct{ x, y netlist.NetID }{x, y})
+	}
+	// Emit the root gates consecutively so they form one adjacency run.
+	for i, r := range roots {
+		sfx := prefix + string(rune('0'+i))
+		bit := nl.MustNet("bit" + sfx)
+		nl.MustGate("gb"+sfx, logic.Nand, bit, r.x, r.y)
+		bits = append(bits, bit)
+	}
+	return bits
+}
+
+func TestIdentifyGroupsUniformWord(t *testing.T) {
+	nl := netlist.New("t")
+	s := nl.MustNet("s")
+	s2 := nl.MustNet("s2")
+	nl.MarkPI(s)
+	nl.MarkPI(s2)
+	bits := uniformWord(t, nl, "w", 4, s, s2)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, 0)
+	found := false
+	for _, w := range res.Words {
+		if len(w) == 4 && contains(w, bits) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("uniform word not grouped; words: %v", res.Words)
+	}
+	if res.Groups == 0 || res.Bits == 0 {
+		t.Errorf("stats: %+v", res)
+	}
+}
+
+func TestIdentifySplitsOnStructureChange(t *testing.T) {
+	nl := netlist.New("t")
+	s := nl.MustNet("s")
+	s2 := nl.MustNet("s2")
+	nl.MarkPI(s)
+	nl.MarkPI(s2)
+	// Two bits of one shape, then two of another, all NAND2 roots so they
+	// share one adjacency run but must split into two words.
+	b1 := uniformWord(t, nl, "p", 2, s, s2)
+	var b2 []netlist.NetID
+	for i := 0; i < 2; i++ {
+		sfx := "q" + string(rune('0'+i))
+		a := nl.MustNet("a" + sfx)
+		nl.MarkPI(a)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nor, x, a, s) // NOR subtree: different shape
+		bit := nl.MustNet("bit" + sfx)
+		nl.MustGate("gb"+sfx, logic.Nand, bit, x, x)
+		b2 = append(b2, bit)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, 0)
+	if !hasWord(res.Words, b1) {
+		t.Fatalf("uniform pair not grouped: %v", res.Words)
+	}
+	// No generated word may mix the two shapes.
+	inB1 := map[netlist.NetID]bool{}
+	for _, n := range b1 {
+		inB1[n] = true
+	}
+	for _, w := range res.Words {
+		hasP, hasQ := false, false
+		for _, n := range w {
+			if inB1[n] {
+				hasP = true
+			}
+			for _, q := range b2 {
+				if n == q {
+					hasQ = true
+				}
+			}
+		}
+		if hasP && hasQ {
+			t.Errorf("full-match baseline merged different shapes: %v", w)
+		}
+	}
+}
+
+func TestIdentifyEquality_NotChaining(t *testing.T) {
+	// Full matching is an equivalence: A A B A sequences split into
+	// {A,A},{B},{A} because grouping is sequential-adjacent.
+	nl := netlist.New("t")
+	s := nl.MustNet("s")
+	s2 := nl.MustNet("s2")
+	nl.MarkPI(s)
+	nl.MarkPI(s2)
+	// Phase 1: internals for all four bits (x subtrees); phase 2: the root
+	// gates on consecutive lines so they form one adjacency run.
+	var xs []netlist.NetID
+	mkX := func(sfx string, kind logic.Kind, sel netlist.NetID) {
+		a := nl.MustNet("a" + sfx)
+		nl.MarkPI(a)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, kind, x, a, sel)
+		xs = append(xs, x)
+	}
+	mkX("0", logic.Nand, s)
+	mkX("1", logic.Nand, s)
+	mkX("2", logic.Nor, s2)
+	mkX("3", logic.Nand, s)
+	var bits []netlist.NetID
+	for i, x := range xs {
+		sfx := string(rune('0' + i))
+		bit := nl.MustNet("bit" + sfx)
+		nl.MustGate("gb"+sfx, logic.Nand, bit, x, x)
+		bits = append(bits, bit)
+	}
+	a1, a2, b, a3 := bits[0], bits[1], bits[2], bits[3]
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, 0)
+	if !hasWord(res.Words, []netlist.NetID{a1, a2}) {
+		t.Error("adjacent equal bits not grouped")
+	}
+	if !hasWord(res.Words, []netlist.NetID{b}) || !hasWord(res.Words, []netlist.NetID{a3}) {
+		t.Errorf("sequential grouping must isolate the trailing bits: %v", res.Words)
+	}
+}
+
+func contains(w []netlist.NetID, want []netlist.NetID) bool {
+	set := map[netlist.NetID]bool{}
+	for _, n := range w {
+		set[n] = true
+	}
+	for _, n := range want {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasWord(words [][]netlist.NetID, exact []netlist.NetID) bool {
+	for _, w := range words {
+		if len(w) != len(exact) {
+			continue
+		}
+		if contains(w, exact) {
+			return true
+		}
+	}
+	return false
+}

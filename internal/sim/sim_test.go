@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/reduce"
+)
+
+// counter builds a 3-bit incrementer: q <= q + 1.
+func counter(t *testing.T) (*netlist.Netlist, []netlist.NetID) {
+	t.Helper()
+	nl := netlist.New("ctr")
+	q := make([]netlist.NetID, 3)
+	d := make([]netlist.NetID, 3)
+	for i := range q {
+		q[i] = nl.MustNet("q" + string(rune('0'+i)))
+	}
+	c1 := nl.MustNet("c1")
+	c2 := nl.MustNet("c2")
+	d[0] = nl.MustNet("d0")
+	d[1] = nl.MustNet("d1")
+	d[2] = nl.MustNet("d2")
+	nl.MustGate("g0", logic.Not, d[0], q[0])
+	nl.MustGate("gc1", logic.Buf, c1, q[0])
+	nl.MustGate("g1", logic.Xor, d[1], q[1], c1)
+	nl.MustGate("gc2", logic.And, c2, q[1], c1)
+	nl.MustGate("g2", logic.Xor, d[2], q[2], c2)
+	for i := range q {
+		nl.MustGate("ff"+string(rune('0'+i)), logic.DFF, q[i], d[i])
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl, q
+}
+
+func TestSequentialCounter(t *testing.T) {
+	nl, q := counter(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StateCount() != 3 {
+		t.Fatalf("states %d", s.StateCount())
+	}
+	for i := 0; i < 3; i++ {
+		s.SetState(i, logic.Zero)
+	}
+	s.Settle()
+	for step := 1; step <= 10; step++ {
+		s.Step()
+		want := step % 8
+		got := 0
+		for i := 0; i < 3; i++ {
+			if s.Value(q[i]) == logic.One {
+				got |= 1 << i
+			} else if s.Value(q[i]) != logic.Zero {
+				t.Fatalf("step %d: bit %d is X", step, i)
+			}
+		}
+		if got != want {
+			t.Fatalf("step %d: counter = %d, want %d", step, got, want)
+		}
+	}
+}
+
+func TestXPropagation(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.MustNet("a")
+	b := nl.MustNet("b")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	y := nl.MustNet("y")
+	nl.MustGate("g", logic.And, y, a, b)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Settle()
+	if s.Value(y) != logic.X {
+		t.Errorf("unknown inputs: y = %s", s.Value(y))
+	}
+	if err := s.SetInput(a, logic.Zero); err != nil {
+		t.Fatal(err)
+	}
+	s.Settle()
+	if s.Value(y) != logic.Zero {
+		t.Errorf("controlling 0: y = %s", s.Value(y))
+	}
+}
+
+func TestSetInputRejectsNonPI(t *testing.T) {
+	nl := netlist.New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.MustGate("g", logic.Not, y, a)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput(y, logic.One); err == nil {
+		t.Error("driving an internal net accepted")
+	}
+}
+
+func TestNewRejectsCycles(t *testing.T) {
+	nl := netlist.New("t")
+	x := nl.MustNet("x")
+	y := nl.MustNet("y")
+	nl.MustGate("g1", logic.Not, y, x)
+	nl.MustGate("g2", logic.Not, x, y)
+	if _, err := New(nl); err == nil {
+		t.Error("combinational cycle accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	nl, q := counter(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.SetState(i, logic.One)
+	}
+	s.Settle()
+	s.Reset()
+	s.Settle()
+	if s.Value(q[0]) != logic.X {
+		t.Error("Reset must restore X")
+	}
+}
+
+// TestSimMatchesEval cross-checks the simulator against direct topological
+// evaluation on random circuits and vectors.
+func TestSimMatchesEval(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomComb(rng)
+		s, err := New(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order, err := nl.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vec := 0; vec < 8; vec++ {
+			want := make([]logic.Value, nl.NetCount())
+			for _, pi := range nl.PIs() {
+				v := logic.FromBool(rng.Intn(2) == 1)
+				want[pi] = v
+				if err := s.SetInput(pi, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, gid := range order {
+				g := nl.Gate(gid)
+				in := make([]logic.Value, len(g.Inputs))
+				for i, id := range g.Inputs {
+					in[i] = want[id]
+				}
+				want[g.Output] = logic.Eval(g.Kind, in)
+			}
+			s.Settle()
+			for id := 0; id < nl.NetCount(); id++ {
+				if got := s.Value(netlist.NetID(id)); got != want[id] {
+					t.Fatalf("seed %d vec %d: net %s = %s, want %s",
+						seed, vec, nl.NetName(netlist.NetID(id)), got, want[id])
+				}
+			}
+		}
+	}
+}
+
+func randomComb(rng *rand.Rand) *netlist.Netlist {
+	nl := netlist.New("rnd")
+	var nets []netlist.NetID
+	for i := 0; i < 4; i++ {
+		id := nl.MustNet("pi" + string(rune('0'+i)))
+		nl.MarkPI(id)
+		nets = append(nets, id)
+	}
+	kinds := logic.CombinationalKinds()
+	for i := 0; i < 15; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		arity := 2
+		if n, fixed := k.FixedArity(); fixed {
+			arity = n
+		}
+		ins := make([]netlist.NetID, arity)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		out := nl.MustNet("n" + string(rune('a'+i)))
+		nl.MustGate("g"+string(rune('a'+i)), k, out, ins...)
+		nets = append(nets, out)
+	}
+	nl.MarkPO(nets[len(nets)-1])
+	return nl
+}
+
+// TestCompareDetectsMismatch wires Compare against a deliberately broken
+// candidate.
+func TestCompareDetectsMismatch(t *testing.T) {
+	mk := func(kind logic.Kind) *netlist.Netlist {
+		nl := netlist.New("m")
+		a := nl.MustNet("a")
+		b := nl.MustNet("b")
+		nl.MarkPI(a)
+		nl.MarkPI(b)
+		y := nl.MustNet("y")
+		nl.MarkPO(y)
+		nl.MustGate("g", kind, y, a, b)
+		return nl
+	}
+	if err := Compare(mk(logic.And), mk(logic.And), nil, nil, 16, 1); err != nil {
+		t.Errorf("identical designs mismatch: %v", err)
+	}
+	err := Compare(mk(logic.And), mk(logic.Or), nil, nil, 64, 1)
+	if err == nil {
+		t.Fatal("AND vs OR not detected")
+	}
+	if _, ok := err.(*Mismatch); !ok {
+		t.Errorf("error type %T", err)
+	}
+}
+
+// TestCompareReductionEquivalence: materialized reductions must be
+// functionally equivalent to the original with the assignment pinned — the
+// §2.5 guarantee that simplification preserves the surviving logic.
+func TestCompareReductionEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randomComb(rng)
+		pis := nl.PIs()
+		pin := pis[rng.Intn(len(pis))]
+		val := logic.FromBool(rng.Intn(2) == 1)
+		red, err := reduce.Apply(nl, map[netlist.NetID]logic.Value{pin: val})
+		if err != nil {
+			continue // conflicting pin: nothing to compare
+		}
+		m, err := reduce.Materialize(red)
+		if err != nil {
+			t.Fatalf("seed %d: materialize: %v", seed, err)
+		}
+		pinned := map[string]logic.Value{nl.NetName(pin): val}
+		if m.Const0 != netlist.NoNet {
+			pinned["$const0"] = logic.Zero
+		}
+		if m.Const1 != netlist.NoNet {
+			pinned["$const1"] = logic.One
+		}
+		// Observe every surviving net, not just the POs.
+		var observe []string
+		for id := 0; id < nl.NetCount(); id++ {
+			name := nl.NetName(netlist.NetID(id))
+			if _, ok := m.NL.NetByName(name); ok {
+				observe = append(observe, name)
+			}
+		}
+		if err := Compare(nl, m.NL, pinned, observe, 32, seed); err != nil {
+			t.Fatalf("seed %d: reduced circuit diverges: %v", seed, err)
+		}
+	}
+}

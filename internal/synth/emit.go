@@ -1,0 +1,175 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+)
+
+// emitter converts bit-level expressions into gates with gate-level common
+// subexpression elimination; internal nets get synthetic U-numbered names
+// (net name == driving gate name, as in the paper's figures).
+type emitter struct {
+	nl     *netlist.Netlist
+	sig    map[string][]netlist.NetID // signal name -> bit nets
+	memo   map[string]netlist.NetID   // canonical op key -> net
+	consts [2]netlist.NetID
+	unum   int
+}
+
+func newEmitter(nl *netlist.Netlist, firstU int) *emitter {
+	return &emitter{
+		nl:     nl,
+		sig:    make(map[string][]netlist.NetID),
+		memo:   make(map[string]netlist.NetID),
+		consts: [2]netlist.NetID{netlist.NoNet, netlist.NoNet},
+		unum:   firstU - 1,
+	}
+}
+
+func (em *emitter) fresh() (string, netlist.NetID) {
+	em.unum++
+	name := "U" + strconv.Itoa(em.unum)
+	return name, em.nl.MustNet(name)
+}
+
+func (em *emitter) constNet(v bool) netlist.NetID {
+	idx := 0
+	if v {
+		idx = 1
+	}
+	if em.consts[idx] == netlist.NoNet {
+		id := em.nl.MustNet(fmt.Sprintf("$const%d", idx))
+		em.nl.MarkPI(id)
+		em.consts[idx] = id
+	}
+	return em.consts[idx]
+}
+
+// emit lowers a bit expression to a net, sharing structurally identical
+// subexpressions (CSE).
+func (em *emitter) emit(be rtl.BitExpr) (netlist.NetID, error) {
+	switch n := be.(type) {
+	case rtl.BRef:
+		nets, ok := em.sig[n.Name]
+		if !ok {
+			return netlist.NoNet, fmt.Errorf("undefined signal %q", n.Name)
+		}
+		if n.Bit < 0 || n.Bit >= len(nets) {
+			return netlist.NoNet, fmt.Errorf("bit %d out of range for %q", n.Bit, n.Name)
+		}
+		return nets[n.Bit], nil
+	case rtl.BConst:
+		return em.constNet(n.V), nil
+	case rtl.BOp:
+		args, err := em.emitArgs(n.Args)
+		if err != nil {
+			return netlist.NoNet, err
+		}
+		key := opKey(n.Kind, args)
+		if id, ok := em.memo[key]; ok {
+			return id, nil
+		}
+		name, out := em.fresh()
+		if _, err := em.nl.AddGate(name, n.Kind, out, args...); err != nil {
+			return netlist.NoNet, err
+		}
+		em.memo[key] = out
+		return out, nil
+	default:
+		return netlist.NoNet, fmt.Errorf("unknown bit expression %T", be)
+	}
+}
+
+func (em *emitter) emitArgs(argExprs []rtl.BitExpr) ([]netlist.NetID, error) {
+	args := make([]netlist.NetID, len(argExprs))
+	for i, a := range argExprs {
+		n, err := em.emit(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = n
+	}
+	return args, nil
+}
+
+// opKey is the CSE key: gate kind plus argument net IDs. Commutative kinds
+// sort their arguments so a&b and b&a share.
+func opKey(kind logic.Kind, args []netlist.NetID) string {
+	ids := append([]netlist.NetID(nil), args...)
+	switch kind {
+	case logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor:
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(kind.String())
+	for _, id := range ids {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(int(id)))
+	}
+	return sb.String()
+}
+
+// emitRegister performs the ordered per-register emission: every bit's
+// internal gates first, then the per-bit root gates consecutively, then the
+// flip-flops. It returns the D-input nets (the word bits).
+func (em *emitter) emitRegister(r *rtl.Reg, bits []rtl.BitExpr) ([]netlist.NetID, error) {
+	type rootSpec struct {
+		direct netlist.NetID // set when the bit has no root gate
+		kind   logic.Kind
+		args   []netlist.NetID
+	}
+	specs := make([]rootSpec, len(bits))
+
+	// Phase 1: internals.
+	for i, be := range bits {
+		switch n := be.(type) {
+		case rtl.BOp:
+			args, err := em.emitArgs(n.Args)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = rootSpec{direct: netlist.NoNet, kind: n.Kind, args: args}
+		default:
+			id, err := em.emit(be)
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = rootSpec{direct: id}
+		}
+	}
+
+	// Phase 2: root gates, consecutively. Roots are always fresh gates —
+	// never CSE-shared — so each word bit is a distinct net and the roots
+	// sit on adjacent netlist lines.
+	roots := make([]netlist.NetID, len(bits))
+	for i, spec := range specs {
+		if spec.direct != netlist.NoNet {
+			roots[i] = spec.direct
+			continue
+		}
+		name, out := em.fresh()
+		if _, err := em.nl.AddGate(name, spec.kind, out, spec.args...); err != nil {
+			return nil, err
+		}
+		roots[i] = out
+	}
+
+	// Phase 3: flip-flops.
+	outs := em.sig[r.Name]
+	for i, d := range roots {
+		gname := em.nl.NetName(outs[i])
+		if _, err := em.nl.AddGate(gname, logic.DFF, outs[i], d); err != nil {
+			return nil, err
+		}
+	}
+	return roots, nil
+}

@@ -1,0 +1,386 @@
+// Package synth is the mini synthesis flow that turns an rtl.Design into a
+// flattened gate-level netlist.Netlist. It bit-blasts word-level
+// expressions, constant-folds during lowering (the optimization that creates
+// the per-bit structural divergence the paper exploits), shares common
+// subexpressions at the gate level, renames internal nets to synthetic
+// U-numbers, and preserves register names on flip-flop output nets — the
+// exact combination of behaviors the DAC'15 experimental setup depends on.
+//
+// Gate emission order is engineered the way cell creation order falls out
+// of per-register mapping in real tools: for each register, internal gates
+// first, then the per-bit root gates consecutively, then the flip-flops.
+// The adjacency grouping of §2.2 keys on that order.
+package synth
+
+import (
+	"fmt"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/rtl"
+)
+
+// MuxStyle selects how word-level muxes are mapped to gates.
+type MuxStyle uint8
+
+// Mux mapping styles.
+const (
+	// MuxCell maps to a MUX2 library cell.
+	MuxCell MuxStyle = iota
+	// MuxNand maps to the classic four-NAND decomposition.
+	MuxNand
+	// MuxAoi maps to NOT(AOI21(a, !s, b&s)).
+	MuxAoi
+)
+
+// lowerExpr bit-blasts a word-level expression into per-bit structures,
+// folding constants as it goes.
+func lowerExpr(e rtl.Expr, widths map[string]int, style MuxStyle, maxFanin int) ([]rtl.BitExpr, error) {
+	switch n := e.(type) {
+	case rtl.Ref:
+		w, ok := widths[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: undefined signal %q", n.Name)
+		}
+		out := make([]rtl.BitExpr, w)
+		for i := 0; i < w; i++ {
+			out[i] = rtl.BRef{Name: n.Name, Bit: i}
+		}
+		return out, nil
+	case rtl.Const:
+		out := make([]rtl.BitExpr, len(n.Bits))
+		for i, b := range n.Bits {
+			out[i] = rtl.BConst{V: b}
+		}
+		return out, nil
+	case rtl.Not:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a {
+			a[i] = fold(logic.Not, a[i])
+		}
+		return a, nil
+	case rtl.Bin:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lowerExpr(n.B, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rtl.BitExpr, len(a))
+		for i := range a {
+			out[i] = fold(n.Kind, a[i], b[i])
+		}
+		return out, nil
+	case rtl.Add:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lowerExpr(n.B, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		return lowerAdd(a, b, rtl.BConst{V: false}), nil
+	case rtl.Inc:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		zeros := make([]rtl.BitExpr, len(a))
+		for i := range zeros {
+			zeros[i] = rtl.BConst{V: false}
+		}
+		return lowerAdd(a, zeros, rtl.BConst{V: true}), nil
+	case rtl.Mux:
+		sel, err := lowerExpr(n.Sel, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lowerExpr(n.B, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rtl.BitExpr, len(a))
+		for i := range a {
+			out[i] = lowerMux(sel[0], a[i], b[i], style)
+		}
+		return out, nil
+	case rtl.Concat:
+		var out []rtl.BitExpr
+		for _, p := range n.Parts {
+			bits, err := lowerExpr(p, widths, style, maxFanin)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bits...)
+		}
+		return out, nil
+	case rtl.EqConst:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		terms := make([]rtl.BitExpr, len(a))
+		for i := range a {
+			if n.K>>uint(i)&1 == 1 {
+				terms[i] = a[i]
+			} else {
+				terms[i] = fold(logic.Not, a[i])
+			}
+		}
+		return []rtl.BitExpr{reduceTree(logic.And, terms, maxFanin)}, nil
+	case rtl.RedOr:
+		a, err := lowerExpr(n.A, widths, style, maxFanin)
+		if err != nil {
+			return nil, err
+		}
+		return []rtl.BitExpr{reduceTree(logic.Or, a, maxFanin)}, nil
+	default:
+		return nil, fmt.Errorf("synth: cannot lower %T", e)
+	}
+}
+
+// lowerMux maps one bit of a 2:1 mux (sel ? b : a) in the requested style,
+// folding when an operand is constant.
+func lowerMux(sel, a, b rtl.BitExpr, style MuxStyle) rtl.BitExpr {
+	if bc, ok := b.(rtl.BConst); ok {
+		if bc.V {
+			return fold(logic.Or, sel, a) // sel ? 1 : a
+		}
+		return fold(logic.And, fold(logic.Not, sel), a) // sel ? 0 : a
+	}
+	if ac, ok := a.(rtl.BConst); ok {
+		if ac.V {
+			return fold(logic.Or, fold(logic.Not, sel), b) // sel ? b : 1
+		}
+		return fold(logic.And, sel, b) // sel ? b : 0
+	}
+	if sc, ok := sel.(rtl.BConst); ok {
+		if sc.V {
+			return b
+		}
+		return a
+	}
+	switch style {
+	case MuxNand:
+		ns := fold(logic.Not, sel)
+		return fold(logic.Nand, fold(logic.Nand, a, ns), fold(logic.Nand, b, sel))
+	case MuxAoi:
+		ns := fold(logic.Not, sel)
+		return fold(logic.Not, fold(logic.Aoi21, a, ns, fold(logic.And, b, sel)))
+	default:
+		return fold(logic.Mux2, sel, a, b)
+	}
+}
+
+// lowerAdd builds a ripple-carry adder; the shared Xor(a,b) and carry terms
+// are deduplicated later by gate-level CSE.
+func lowerAdd(a, b []rtl.BitExpr, carry rtl.BitExpr) []rtl.BitExpr {
+	out := make([]rtl.BitExpr, len(a))
+	for i := range a {
+		axb := fold(logic.Xor, a[i], b[i])
+		out[i] = fold(logic.Xor, axb, carry)
+		ab := fold(logic.And, a[i], b[i])
+		ac := fold(logic.And, axb, carry)
+		carry = fold(logic.Or, ab, ac)
+	}
+	return out
+}
+
+// reduceTree combines terms with a balanced tree of at-most-maxFanin gates.
+func reduceTree(kind logic.Kind, terms []rtl.BitExpr, maxFanin int) rtl.BitExpr {
+	if maxFanin < 2 {
+		maxFanin = 3
+	}
+	for len(terms) > 1 {
+		var next []rtl.BitExpr
+		for i := 0; i < len(terms); i += maxFanin {
+			end := i + maxFanin
+			if end > len(terms) {
+				end = len(terms)
+			}
+			chunk := terms[i:end]
+			if len(chunk) == 1 {
+				next = append(next, chunk[0])
+				continue
+			}
+			next = append(next, fold(kind, chunk...))
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// fold builds a BOp while performing local constant folding and trivial
+// rewrites; this mirrors what logic optimization does during synthesis and
+// is the source of per-bit structural divergence for words that load
+// constants under control signals.
+func fold(kind logic.Kind, args ...rtl.BitExpr) rtl.BitExpr {
+	switch kind {
+	case logic.Buf:
+		return args[0]
+	case logic.Not:
+		switch a := args[0].(type) {
+		case rtl.BConst:
+			return rtl.BConst{V: !a.V}
+		case rtl.BOp:
+			if a.Kind == logic.Not {
+				return a.Args[0]
+			}
+		}
+		return rtl.BOp{Kind: logic.Not, Args: args}
+
+	case logic.And, logic.Nand:
+		live := make([]rtl.BitExpr, 0, len(args))
+		for _, a := range args {
+			if c, ok := a.(rtl.BConst); ok {
+				if !c.V {
+					return rtl.BConst{V: kind == logic.Nand}
+				}
+				continue // drop constant 1
+			}
+			live = append(live, a)
+		}
+		switch len(live) {
+		case 0:
+			return rtl.BConst{V: kind == logic.Nand}
+		case 1:
+			if kind == logic.Nand {
+				return fold(logic.Not, live[0])
+			}
+			return live[0]
+		}
+		return rtl.BOp{Kind: kind, Args: live}
+
+	case logic.Or, logic.Nor:
+		live := make([]rtl.BitExpr, 0, len(args))
+		for _, a := range args {
+			if c, ok := a.(rtl.BConst); ok {
+				if c.V {
+					return rtl.BConst{V: kind == logic.Nor}
+				}
+				continue // drop constant 0
+			}
+			live = append(live, a)
+		}
+		switch len(live) {
+		case 0:
+			return rtl.BConst{V: kind == logic.Nor}
+		case 1:
+			if kind == logic.Nor {
+				return fold(logic.Not, live[0])
+			}
+			return live[0]
+		}
+		return rtl.BOp{Kind: kind, Args: live}
+
+	case logic.Xor, logic.Xnor:
+		parityFlip := kind == logic.Xnor
+		live := make([]rtl.BitExpr, 0, len(args))
+		for _, a := range args {
+			if c, ok := a.(rtl.BConst); ok {
+				if c.V {
+					parityFlip = !parityFlip
+				}
+				continue
+			}
+			live = append(live, a)
+		}
+		switch len(live) {
+		case 0:
+			return rtl.BConst{V: parityFlip}
+		case 1:
+			if parityFlip {
+				return fold(logic.Not, live[0])
+			}
+			return live[0]
+		}
+		k := logic.Xor
+		if parityFlip {
+			k = logic.Xnor
+		}
+		return rtl.BOp{Kind: k, Args: live}
+
+	case logic.Mux2:
+		sel, a, b := args[0], args[1], args[2]
+		if sc, ok := sel.(rtl.BConst); ok {
+			if sc.V {
+				return b
+			}
+			return a
+		}
+		ac, aConst := a.(rtl.BConst)
+		bc, bConst := b.(rtl.BConst)
+		switch {
+		case aConst && bConst && ac.V == bc.V:
+			return ac
+		case aConst && bConst: // sel ? b : a with a != b
+			if bc.V {
+				return sel // sel ? 1 : 0
+			}
+			return fold(logic.Not, sel) // sel ? 0 : 1
+		case bConst && bc.V:
+			return fold(logic.Or, sel, a)
+		case bConst:
+			return fold(logic.And, fold(logic.Not, sel), a)
+		case aConst && ac.V:
+			return fold(logic.Or, fold(logic.Not, sel), b)
+		case aConst:
+			return fold(logic.And, sel, b)
+		}
+		return rtl.BOp{Kind: logic.Mux2, Args: args}
+
+	case logic.Aoi21: // !((a&b)|c)
+		a, b, c := args[0], args[1], args[2]
+		if cc, ok := c.(rtl.BConst); ok {
+			if cc.V {
+				return rtl.BConst{V: false}
+			}
+			return fold(logic.Nand, a, b)
+		}
+		if ac, ok := a.(rtl.BConst); ok {
+			if ac.V {
+				return fold(logic.Nor, b, c)
+			}
+			return fold(logic.Not, c)
+		}
+		if bc, ok := b.(rtl.BConst); ok {
+			if bc.V {
+				return fold(logic.Nor, a, c)
+			}
+			return fold(logic.Not, c)
+		}
+		return rtl.BOp{Kind: logic.Aoi21, Args: args}
+
+	case logic.Oai21: // !((a|b)&c)
+		a, b, c := args[0], args[1], args[2]
+		if cc, ok := c.(rtl.BConst); ok {
+			if !cc.V {
+				return rtl.BConst{V: true}
+			}
+			return fold(logic.Nor, a, b)
+		}
+		if ac, ok := a.(rtl.BConst); ok {
+			if !ac.V {
+				return fold(logic.Nand, b, c)
+			}
+			return fold(logic.Not, c)
+		}
+		if bc, ok := b.(rtl.BConst); ok {
+			if !bc.V {
+				return fold(logic.Nand, a, c)
+			}
+			return fold(logic.Not, c)
+		}
+		return rtl.BOp{Kind: logic.Oai21, Args: args}
+	}
+	return rtl.BOp{Kind: kind, Args: args}
+}

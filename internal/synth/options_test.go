@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+	"gatewords/internal/verilog"
+)
+
+func TestRegStyleOverride(t *testing.T) {
+	d := &rtl.Design{
+		Name:   "m",
+		Inputs: []rtl.Signal{{Name: "a", Width: 2}, {Name: "b", Width: 2}, {Name: "s", Width: 1}},
+		Regs: []*rtl.Reg{
+			{Name: "r1", Width: 2, Next: rtl.Mux{Sel: rtl.Ref{Name: "s"}, A: rtl.Ref{Name: "a"}, B: rtl.Ref{Name: "b"}}},
+			{Name: "r2", Width: 2, Next: rtl.Mux{Sel: rtl.Ref{Name: "s"}, A: rtl.Ref{Name: "a"}, B: rtl.Ref{Name: "b"}}},
+		},
+	}
+	res, err := Synthesize(d, Options{
+		MuxStyle:  MuxCell,
+		RegStyles: map[string]MuxStyle{"r2": MuxNand},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	kindOf := func(reg string) logic.Kind {
+		d := nl.Net(res.RegRoots[reg][0]).Driver
+		return nl.Gate(d).Kind
+	}
+	if kindOf("r1") != logic.Mux2 {
+		t.Errorf("r1 root = %s, want MUX2", kindOf("r1"))
+	}
+	if kindOf("r2") != logic.Nand {
+		t.Errorf("r2 root = %s, want NAND (override)", kindOf("r2"))
+	}
+}
+
+func TestFirstUNumber(t *testing.T) {
+	d := &rtl.Design{
+		Name:   "m",
+		Inputs: []rtl.Signal{{Name: "a", Width: 2}},
+		Regs:   []*rtl.Reg{{Name: "r", Width: 2, Next: rtl.Not{A: rtl.Ref{Name: "a"}}}},
+	}
+	res, err := Synthesize(d, Options{FirstUNumber: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.NL.NetByName("U500"); !ok {
+		t.Error("numbering did not start at U500")
+	}
+	if _, ok := res.NL.NetByName("U100"); ok {
+		t.Error("default numbering leaked")
+	}
+}
+
+func TestConstSurvivesAsTie(t *testing.T) {
+	// A register bit tied to a constant keeps a tie-off net.
+	d := &rtl.Design{
+		Name:   "m",
+		Inputs: []rtl.Signal{{Name: "a", Width: 1}},
+		Regs: []*rtl.Reg{{Name: "r", Width: 2,
+			NextBits: []rtl.BitExpr{rtl.Bit("a", 0), rtl.BConst{V: true}}}},
+	}
+	res, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.NL.NetByName("$const1"); !ok {
+		t.Error("tie-off net missing")
+	}
+	if res.RegRoots["r"][1] != mustNet(t, res, "$const1") {
+		t.Error("D net not tied to the constant")
+	}
+}
+
+func mustNet(t *testing.T, res *Result, name string) netlist.NetID {
+	t.Helper()
+	n, ok := res.NL.NetByName(name)
+	if !ok {
+		t.Fatalf("net %s missing", name)
+	}
+	return n
+}
+
+func TestMaxFaninControlsReductionTrees(t *testing.T) {
+	d := &rtl.Design{
+		Name:    "m",
+		Inputs:  []rtl.Signal{{Name: "a", Width: 9}},
+		Outputs: []rtl.Output{{Name: "o", Expr: rtl.RedOr{A: rtl.Ref{Name: "a"}}}},
+	}
+	wide, err := Synthesize(d, Options{MaxFanin: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Synthesize(d, Options{MaxFanin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NL.ComputeStats().Gates >= narrow.NL.ComputeStats().Gates {
+		t.Errorf("fanin cap did not change tree shape: %d vs %d gates",
+			wide.NL.ComputeStats().Gates, narrow.NL.ComputeStats().Gates)
+	}
+	if wide.NL.ComputeStats().MaxFanin != 9 {
+		t.Errorf("max fanin %d", wide.NL.ComputeStats().MaxFanin)
+	}
+}
+
+func TestSynthesizeErrorPaths(t *testing.T) {
+	// Wire with neither Expr nor Bits fails validation inside Synthesize.
+	d := &rtl.Design{Name: "m", Wires: []rtl.Wire{{Name: "w", Width: 1}}}
+	if _, err := Synthesize(d, Options{}); err == nil {
+		t.Error("invalid wire accepted")
+	}
+	// Unknown signal in an output expression.
+	d = &rtl.Design{Name: "m", Outputs: []rtl.Output{{Name: "o", Expr: rtl.Ref{Name: "ghost"}}}}
+	if _, err := Synthesize(d, Options{}); err == nil {
+		t.Error("undefined output ref accepted")
+	}
+}
+
+func TestDirectRegisterConnection(t *testing.T) {
+	// A register bit wired straight to another signal (shift style) has no
+	// root gate; the D net is the source itself.
+	d := &rtl.Design{
+		Name:   "m",
+		Inputs: []rtl.Signal{{Name: "si", Width: 1}},
+		Regs: []*rtl.Reg{{Name: "r", Width: 3, NextBits: []rtl.BitExpr{
+			rtl.Bit("si", 0),
+			rtl.Bit("r", 0),
+			rtl.Bit("r", 1),
+		}}},
+	}
+	res, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	if nl.NetName(res.RegRoots["r"][0]) != "si" {
+		t.Errorf("bit 0 D = %s", nl.NetName(res.RegRoots["r"][0]))
+	}
+	if nl.NetName(res.RegRoots["r"][1]) != "r_reg[0]" {
+		t.Errorf("bit 1 D = %s", nl.NetName(res.RegRoots["r"][1]))
+	}
+	text, err := verilog.WriteString(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "DFF") {
+		t.Error("no DFFs emitted")
+	}
+}

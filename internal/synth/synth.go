@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"fmt"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+)
+
+// Options configures the synthesis flow.
+type Options struct {
+	// MuxStyle is the default mux mapping style.
+	MuxStyle MuxStyle
+	// RegStyles overrides the mux style per register name.
+	RegStyles map[string]MuxStyle
+	// MaxFanin caps gate fanin for reduction trees (default 3).
+	MaxFanin int
+	// InsertScan threads a scan chain through all flip-flops: each D input
+	// is wrapped in a mux selecting between functional data and the
+	// previous flip-flop's output under a new "scan_en" primary input.
+	// This models the CAD-inserted control signals the paper discusses.
+	InsertScan bool
+	// ScanStyle is the mapping style for scan muxes (default MuxCell).
+	ScanStyle MuxStyle
+	// FirstUNumber seeds the synthetic net/gate numbering (default 100,
+	// echoing the U-numbered nets of the paper's figures).
+	FirstUNumber int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFanin < 2 {
+		o.MaxFanin = 3
+	}
+	if o.FirstUNumber <= 0 {
+		o.FirstUNumber = 100
+	}
+	return o
+}
+
+// Result is the synthesis output.
+type Result struct {
+	NL *netlist.Netlist
+	// RegRoots maps each register name to the D-input nets of its bits —
+	// the nets a word-identification technique should discover as a word.
+	RegRoots map[string][]netlist.NetID
+	// WireNets maps each declared wire name to its bit nets.
+	WireNets map[string][]netlist.NetID
+}
+
+// Synthesize lowers and maps the design. The resulting netlist validates
+// and preserves register names on flip-flop outputs ("<reg>_reg[i]").
+func Synthesize(d *rtl.Design, opt Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	widths, err := d.Widths()
+	if err != nil {
+		return nil, err
+	}
+	em := newEmitter(netlist.New(d.Name), opt.FirstUNumber)
+	res := &Result{
+		NL:       em.nl,
+		RegRoots: make(map[string][]netlist.NetID),
+		WireNets: make(map[string][]netlist.NetID),
+	}
+
+	// Primary inputs.
+	for _, in := range d.Inputs {
+		nets := make([]netlist.NetID, in.Width)
+		for i := range nets {
+			nets[i] = em.nl.MustNet(portBit(in.Name, i, in.Width))
+			em.nl.MarkPI(nets[i])
+		}
+		em.sig[in.Name] = nets
+	}
+	if opt.InsertScan {
+		for _, name := range []string{"scan_en", "scan_in"} {
+			id := em.nl.MustNet(name)
+			em.nl.MarkPI(id)
+			em.sig[name] = []netlist.NetID{id}
+			widths[name] = 1
+		}
+	}
+
+	// Register output nets exist before any logic references them.
+	for _, r := range d.Regs {
+		nets := make([]netlist.NetID, r.Width)
+		for i := range nets {
+			nets[i] = em.nl.MustNet(regBit(r.Name, i, r.Width))
+		}
+		em.sig[r.Name] = nets
+	}
+
+	// Shared wires, in declaration order.
+	for i := range d.Wires {
+		w := &d.Wires[i]
+		bits, err := wireBits(w, widths, opt)
+		if err != nil {
+			return nil, err
+		}
+		nets := make([]netlist.NetID, len(bits))
+		for bi, be := range bits {
+			n, err := em.emit(be)
+			if err != nil {
+				return nil, fmt.Errorf("synth %s: wire %q bit %d: %w", d.Name, w.Name, bi, err)
+			}
+			nets[bi] = n
+		}
+		em.sig[w.Name] = nets
+		res.WireNets[w.Name] = nets
+	}
+
+	// Registers: per register, internals first, then the per-bit root
+	// gates consecutively, then the flip-flops. This emission order is what
+	// makes the bits of one word adjacent in the netlist file.
+	scanPrev := rtl.BitExpr(nil)
+	if opt.InsertScan {
+		scanPrev = rtl.BRef{Name: "scan_in", Bit: 0}
+	}
+	for _, r := range d.Regs {
+		bits := r.NextBits
+		if r.Next != nil {
+			style := opt.MuxStyle
+			if s, ok := opt.RegStyles[r.Name]; ok {
+				style = s
+			}
+			bits, err = lowerExpr(r.Next, widths, style, opt.MaxFanin)
+			if err != nil {
+				return nil, fmt.Errorf("synth %s: register %q: %w", d.Name, r.Name, err)
+			}
+		}
+		if opt.InsertScan {
+			wrapped := make([]rtl.BitExpr, len(bits))
+			for i, be := range bits {
+				wrapped[i] = lowerMux(rtl.BRef{Name: "scan_en", Bit: 0}, be, scanPrev, opt.ScanStyle)
+				scanPrev = rtl.BRef{Name: r.Name, Bit: i}
+			}
+			bits = wrapped
+		}
+		roots, err := em.emitRegister(r, bits)
+		if err != nil {
+			return nil, fmt.Errorf("synth %s: register %q: %w", d.Name, r.Name, err)
+		}
+		res.RegRoots[r.Name] = roots
+	}
+
+	// Outputs: each bit is buffered into a named PO net.
+	for _, o := range d.Outputs {
+		bits, err := lowerExpr(o.Expr, widths, opt.MuxStyle, opt.MaxFanin)
+		if err != nil {
+			return nil, fmt.Errorf("synth %s: output %q: %w", d.Name, o.Name, err)
+		}
+		for bi, be := range bits {
+			src, err := em.emit(be)
+			if err != nil {
+				return nil, fmt.Errorf("synth %s: output %q bit %d: %w", d.Name, o.Name, bi, err)
+			}
+			po := em.nl.MustNet(portBit(o.Name, bi, len(bits)))
+			em.nl.MarkPO(po)
+			em.unum++
+			if _, err := em.nl.AddGate(fmt.Sprintf("U%d", em.unum), logic.Buf, po, src); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opt.InsertScan {
+		// Observe the end of the scan chain.
+		last, err := em.emit(scanPrev)
+		if err != nil {
+			return nil, err
+		}
+		po := em.nl.MustNet("scan_out")
+		em.nl.MarkPO(po)
+		em.unum++
+		if _, err := em.nl.AddGate(fmt.Sprintf("U%d", em.unum), logic.Buf, po, last); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := em.nl.Validate(); err != nil {
+		return nil, fmt.Errorf("synth %s: produced invalid netlist: %w", d.Name, err)
+	}
+	return res, nil
+}
+
+func wireBits(w *rtl.Wire, widths map[string]int, opt Options) ([]rtl.BitExpr, error) {
+	if w.Bits != nil {
+		return w.Bits, nil
+	}
+	return lowerExpr(w.Expr, widths, opt.MuxStyle, opt.MaxFanin)
+}
+
+// portBit names a port net: plain for 1-bit signals, indexed otherwise.
+func portBit(name string, i, width int) string {
+	if width == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s[%d]", name, i)
+}
+
+// regBit names a flip-flop output net, preserving the register name the way
+// the paper's synthesis setup does.
+func regBit(name string, i, width int) string {
+	if width == 1 {
+		return name + "_reg"
+	}
+	return fmt.Sprintf("%s_reg[%d]", name, i)
+}

@@ -1,0 +1,310 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+	"gatewords/internal/sim"
+	"gatewords/internal/verilog"
+)
+
+// testDesign exercises every word-level operator.
+func testDesign() *rtl.Design {
+	return &rtl.Design{
+		Name: "dut",
+		Inputs: []rtl.Signal{
+			{Name: "a", Width: 4}, {Name: "b", Width: 4},
+			{Name: "en", Width: 1}, {Name: "rst", Width: 1},
+		},
+		Wires: []rtl.Wire{
+			{Name: "sum", Width: 4, Expr: rtl.Add{A: rtl.Ref{Name: "a"}, B: rtl.Ref{Name: "b"}}},
+			{Name: "sel", Width: 1, Bits: []rtl.BitExpr{rtl.B(logic.Nand, rtl.Bit("en", 0), rtl.Bit("rst", 0))}},
+		},
+		Regs: []*rtl.Reg{
+			{Name: "acc", Width: 4, Next: rtl.Mux{Sel: rtl.Ref{Name: "sel"}, A: rtl.Ref{Name: "acc"}, B: rtl.Ref{Name: "sum"}}},
+			{Name: "cnt", Width: 3, Next: rtl.Inc{A: rtl.Ref{Name: "cnt"}}},
+			{Name: "mask", Width: 4, Next: rtl.Bin{Kind: logic.Xor, A: rtl.Ref{Name: "acc"}, B: rtl.Not{A: rtl.Ref{Name: "b"}}}},
+			{Name: "ld", Width: 4, Next: rtl.Mux{Sel: rtl.Ref{Name: "rst"}, A: rtl.Ref{Name: "acc"}, B: rtl.Const{Bits: []bool{false, true, true, false}}}},
+		},
+		Outputs: []rtl.Output{
+			{Name: "full", Expr: rtl.EqConst{A: rtl.Ref{Name: "cnt"}, K: 5}},
+			{Name: "any", Expr: rtl.RedOr{A: rtl.Ref{Name: "acc"}}},
+		},
+	}
+}
+
+// driveAndCompare simulates the synthesized netlist under random vectors
+// and checks every register's next state and every output against the RTL
+// reference evaluator.
+func driveAndCompare(t *testing.T, d *rtl.Design, opt Options, vectors int, seed int64) {
+	t.Helper()
+	res, err := Synthesize(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map FF index -> (reg, bit) through output net names.
+	dffs := nl.DFFs()
+	rng := rand.New(rand.NewSource(seed))
+
+	for vec := 0; vec < vectors; vec++ {
+		env := rtl.Env{}
+		for _, in := range d.Inputs {
+			bits := make([]logic.Value, in.Width)
+			for i := range bits {
+				bits[i] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			env[in.Name] = bits
+		}
+		for _, r := range d.Regs {
+			bits := make([]logic.Value, r.Width)
+			for i := range bits {
+				bits[i] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			env[r.Name] = bits
+		}
+		// Reference result.
+		_, nextRegs, outs, err := d.EvalStep(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive the netlist.
+		for _, in := range d.Inputs {
+			for i, v := range env[in.Name] {
+				id, ok := nl.NetByName(portBit(in.Name, i, in.Width))
+				if !ok {
+					t.Fatalf("input net %s missing", portBit(in.Name, i, in.Width))
+				}
+				if err := s.SetInput(id, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if opt.InsertScan {
+			for _, n := range []string{"scan_en", "scan_in"} {
+				id, _ := nl.NetByName(n)
+				if err := s.SetInput(id, logic.Zero); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for fi, g := range dffs {
+			qname := nl.NetName(nl.Gate(g).Output)
+			set := false
+			for _, r := range d.Regs {
+				for i := 0; i < r.Width; i++ {
+					if qname == regBitName(r.Name, i, r.Width) {
+						s.SetState(fi, env[r.Name][i])
+						set = true
+					}
+				}
+			}
+			if !set {
+				t.Fatalf("FF %s not mapped to a register", qname)
+			}
+		}
+		s.Settle()
+		// Compare next-state on the D nets.
+		for _, r := range d.Regs {
+			for i, dnet := range res.RegRoots[r.Name] {
+				got := s.Value(dnet)
+				want := nextRegs[r.Name][i]
+				if got != want {
+					t.Fatalf("vec %d: %s bit %d: netlist %s, rtl %s", vec, r.Name, i, got, want)
+				}
+			}
+		}
+		for _, o := range d.Outputs {
+			want := outs[o.Name]
+			for i, w := range want {
+				id, ok := nl.NetByName(portBit(o.Name, i, len(want)))
+				if !ok {
+					t.Fatalf("output net missing")
+				}
+				if got := s.Value(id); got != w {
+					t.Fatalf("vec %d: output %s bit %d: netlist %s, rtl %s", vec, o.Name, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+func regBitName(name string, i, w int) string { return regBit(name, i, w) }
+
+func TestSynthesisMatchesRTL(t *testing.T) {
+	for _, style := range []MuxStyle{MuxCell, MuxNand, MuxAoi} {
+		driveAndCompare(t, testDesign(), Options{MuxStyle: style}, 24, int64(style)+1)
+	}
+}
+
+func TestSynthesisValidatesAndRoundTrips(t *testing.T) {
+	res, err := Synthesize(testDesign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.NL.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := verilog.WriteString(res.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := verilog.Parse("dut.v", text)
+	if err != nil {
+		t.Fatalf("emitted Verilog does not re-parse: %v", err)
+	}
+	if back.GateCount() != res.NL.GateCount() {
+		t.Errorf("round trip gate count %d != %d", back.GateCount(), res.NL.GateCount())
+	}
+}
+
+func TestRegisterNamingConventions(t *testing.T) {
+	res, err := Synthesize(testDesign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"acc_reg[0]", "acc_reg[3]", "cnt_reg[2]", "ld_reg[0]"} {
+		if _, ok := res.NL.NetByName(name); !ok {
+			t.Errorf("FF output %s missing", name)
+		}
+	}
+	// 1-bit registers get the bare _reg suffix (no index).
+	d := &rtl.Design{
+		Name:   "flag",
+		Inputs: []rtl.Signal{{Name: "a", Width: 1}},
+		Regs:   []*rtl.Reg{{Name: "f", Width: 1, Next: rtl.Not{A: rtl.Ref{Name: "a"}}}},
+	}
+	res, err = Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.NL.NetByName("f_reg"); !ok {
+		t.Error("1-bit register must be named f_reg")
+	}
+}
+
+func TestCSESharesCarryChain(t *testing.T) {
+	// An 8-bit adder with shared carries stays linear in width: well under
+	// the ~8 gates/bit of an unshared unfolding, and each carry term is
+	// emitted once.
+	d := &rtl.Design{
+		Name:   "add8",
+		Inputs: []rtl.Signal{{Name: "a", Width: 8}, {Name: "b", Width: 8}},
+		Regs:   []*rtl.Reg{{Name: "s", Width: 8, Next: rtl.Add{A: rtl.Ref{Name: "a"}, B: rtl.Ref{Name: "b"}}}},
+	}
+	res, err := Synthesize(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.NL.ComputeStats()
+	if st.Gates > 8*6 {
+		t.Errorf("adder not shared: %d gates", st.Gates)
+	}
+}
+
+func TestRootGatesAdjacent(t *testing.T) {
+	res, err := Synthesize(testDesign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	for reg, roots := range res.RegRoots {
+		var ids []netlist.GateID
+		for _, d := range roots {
+			g := nl.Net(d).Driver
+			if g == netlist.NoGate {
+				t.Fatalf("%s: D net without driver", reg)
+			}
+			ids = append(ids, g)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] != ids[i-1]+1 {
+				t.Errorf("%s: root gates not adjacent: %v", reg, ids)
+				break
+			}
+		}
+	}
+}
+
+func TestInsertScan(t *testing.T) {
+	d := testDesign()
+	res, err := Synthesize(d, Options{InsertScan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	for _, n := range []string{"scan_en", "scan_in", "scan_out"} {
+		if _, ok := nl.NetByName(n); !ok {
+			t.Fatalf("scan net %s missing", n)
+		}
+	}
+	// Functional mode (scan_en = 0) must still match the RTL reference.
+	driveAndCompare(t, d, Options{InsertScan: true}, 16, 99)
+
+	// Shift mode: with scan_en = 1, every D input equals the previous
+	// element of the chain.
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, pi := range nl.PIs() {
+		if err := s.SetInput(pi, logic.FromBool(rng.Intn(2) == 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se, _ := nl.NetByName("scan_en")
+	siNet, _ := nl.NetByName("scan_in")
+	if err := s.SetInput(se, logic.One); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput(siNet, logic.One); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.StateCount(); i++ {
+		s.SetState(i, logic.Zero)
+	}
+	s.Settle()
+	// The first flip-flop in the chain must see scan_in on its D pin.
+	firstReg := d.Regs[0].Name
+	if got := s.Value(res.RegRoots[firstReg][0]); got != logic.One {
+		t.Errorf("scan shift: first D = %s, want 1 (scan_in)", got)
+	}
+	if got := s.Value(res.RegRoots[firstReg][1]); got != logic.Zero {
+		t.Errorf("scan shift: second D = %s, want 0 (previous stage)", got)
+	}
+}
+
+func TestSynthesizeRejectsInvalidDesign(t *testing.T) {
+	d := &rtl.Design{Name: "bad", Regs: []*rtl.Reg{{Name: "r", Width: 1}}}
+	if _, err := Synthesize(d, Options{}); err == nil {
+		t.Error("invalid design accepted")
+	}
+}
+
+func TestEmitterDeterminism(t *testing.T) {
+	a, err := Synthesize(testDesign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(testDesign(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := verilog.WriteString(a.NL)
+	sb, _ := verilog.WriteString(b.NL)
+	if sa != sb {
+		t.Error("synthesis is not deterministic")
+	}
+	if !strings.Contains(sa, "module dut") {
+		t.Error("unexpected output")
+	}
+}

@@ -1,0 +1,89 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the frontend: arbitrary input must never panic, and
+// anything that parses must survive a write/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"module m (a, y);\n input a;\n output y;\n BUF b (y, a);\nendmodule",
+		"module m (a);\n input [3:0] a;\nendmodule",
+		"module m (input a, output y);\n not (y, a);\nendmodule",
+		"module m (a, q);\n input a;\n output q;\n DFF r (.D(a), .Q(q), .CK(a));\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n assign y = 1'b0;\nendmodule",
+		"module \\weird[1] (a);\n input a;\nendmodule",
+		"module m (a); input a; wire w; /* unterminated",
+		"module m (a); input a; NAND2 g (w, a, 4'hF); endmodule",
+		"module m (a, y);\n input a;\n output y;\n supply1 vdd;\n AND2 g (y, a, vdd);\nendmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Parse("fuzz.v", src)
+		if err != nil {
+			return
+		}
+		text, err := WriteString(nl)
+		if err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		back, err := Parse("fuzz2.v", text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nemitted:\n%s", err, src, text)
+		}
+		if back.GateCount() != nl.GateCount() || back.NetCount() != nl.NetCount() {
+			t.Fatalf("round trip changed counts: %d/%d -> %d/%d",
+				nl.GateCount(), nl.NetCount(), back.GateCount(), back.NetCount())
+		}
+	})
+}
+
+// TestParsePinVariants covers the pin-name families of common libraries.
+func TestParsePinVariants(t *testing.T) {
+	src := `
+module m (a, b, c, q);
+  input a, b, c;
+  output q;
+  wire w1, w2, w3, w4, w5;
+  NAND2 u1 (.Y(w1), .A1(a), .A2(b));
+  OR3 u2 (.Z(w2), .IN1(a), .IN2(b), .IN3(c));
+  INV u3 (.Y(w3), .I(w1));
+  BUF u4 (.OUT(w4), .IN(w2));
+  MUX2 u5 (.O(w5), .S0(c), .D0(w3), .D1(w4));
+  FD1 r (.Q(q), .D(w5), .CP(a), .RN(b));
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateCount() != 6 {
+		t.Errorf("gates %d", nl.GateCount())
+	}
+}
+
+func TestParseReaderAndFile(t *testing.T) {
+	src := "module m (a);\n input a;\nendmodule\n"
+	nl, err := ParseReader("m.v", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "m" {
+		t.Errorf("name %q", nl.Name)
+	}
+	if _, err := ParseFile("/nonexistent/never.v"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCellArity(t *testing.T) {
+	if CellArity(0, 3) != 4 {
+		t.Error("CellArity")
+	}
+}

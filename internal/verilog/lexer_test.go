@@ -1,0 +1,105 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer("test.v", src)
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex error: %v", err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, "module m (a, b[3]); .= : #")
+	kinds := []tokenKind{tokIdent, tokIdent, tokLParen, tokIdent, tokComma,
+		tokIdent, tokLBracket, tokNumber, tokRBracket, tokRParen, tokSemi,
+		tokDot, tokEquals, tokColon, tokHash}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d: kind %v want %v (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "a // line comment\nb /* block\ncomment */ c")
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" || toks[2].text != "c" {
+		t.Fatalf("comments not skipped: %+v", toks)
+	}
+	if toks[1].line != 2 || toks[2].line != 3 {
+		t.Errorf("line tracking wrong: %+v", toks)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	lx := newLexer("test.v", "a /* never ends")
+	if _, err := lx.next(); err != nil {
+		t.Fatalf("first token: %v", err)
+	}
+	if _, err := lx.next(); err == nil {
+		t.Fatal("unterminated block comment not reported")
+	}
+}
+
+func TestLexEscapedIdentifier(t *testing.T) {
+	toks := lexAll(t, `\bus[3] plain`)
+	if len(toks) != 2 || toks[0].text != "bus[3]" || toks[0].kind != tokIdent {
+		t.Fatalf("escaped ident: %+v", toks)
+	}
+}
+
+func TestLexEmptyEscapedIdentifier(t *testing.T) {
+	lx := newLexer("test.v", `\ x`)
+	if _, err := lx.next(); err == nil {
+		t.Fatal("empty escaped identifier accepted")
+	}
+}
+
+func TestLexBasedLiteral(t *testing.T) {
+	toks := lexAll(t, "1'b0 4'hF 12")
+	if toks[0].kind != tokBased || toks[0].text != "1'b0" {
+		t.Errorf("based literal: %+v", toks[0])
+	}
+	if toks[1].kind != tokBased || toks[1].text != "4'hF" {
+		t.Errorf("based literal: %+v", toks[1])
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "12" {
+		t.Errorf("number: %+v", toks[2])
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	lx := newLexer("file.v", "ok\n  @")
+	if _, err := lx.next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := lx.next()
+	if err == nil {
+		t.Fatal("bad character accepted")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.File != "file.v" || se.Line != 2 || se.Col != 3 {
+		t.Errorf("position %s:%d:%d", se.File, se.Line, se.Col)
+	}
+	if !strings.Contains(se.Error(), "file.v:2:3") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}

@@ -1,0 +1,735 @@
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Parse parses a single flattened module from src and returns its netlist.
+// file is used for error positions only.
+func Parse(file, src string) (*netlist.Netlist, error) {
+	p := &parser{lx: newLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	nl, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return nl, nil
+}
+
+// ParseReader parses a module from r.
+func ParseReader(file string, r io.Reader) (*netlist.Netlist, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: reading %s: %w", file, err)
+	}
+	return Parse(file, string(data))
+}
+
+// ParseFile parses the module in the named file.
+func ParseFile(path string) (*netlist.Netlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, string(data))
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+	nl  *netlist.Netlist
+
+	// resolveModule, when set (hierarchy elaboration), maps an unknown cell
+	// name to an elaborated sub-module netlist and its header port order.
+	resolveModule func(cell string) (*netlist.Netlist, []string, bool)
+	resolveErr    error
+
+	ports  []string          // header port names, in order
+	dir    map[string]byte   // 'i' or 'o' per declared port name
+	buses  map[string][2]int // declared vector ranges: name -> [msb, lsb]
+	consts [2]netlist.NetID
+	anon   int
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{File: p.lx.file, Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(k tokenKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) keyword() string {
+	if p.tok.kind == tokIdent {
+		return p.tok.text
+	}
+	return ""
+}
+
+func (p *parser) parseModule() (*netlist.Netlist, error) {
+	if p.keyword() != "module" {
+		return nil, p.errf("expected 'module'")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	p.nl = netlist.New(nameTok.text)
+	p.dir = make(map[string]byte)
+	p.buses = make(map[string][2]int)
+	p.consts = [2]netlist.NetID{netlist.NoNet, netlist.NoNet}
+
+	if ok, err := p.accept(tokLParen); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.parsePortHeader(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch kw := p.keyword(); {
+		case kw == "endmodule":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.finish()
+		case kw == "input" || kw == "output" || kw == "inout":
+			if err := p.parseDirDecl(kw); err != nil {
+				return nil, err
+			}
+		case kw == "wire" || kw == "tri":
+			if err := p.parseWireDecl(); err != nil {
+				return nil, err
+			}
+		case kw == "supply0" || kw == "supply1":
+			if err := p.parseSupplyDecl(kw == "supply1"); err != nil {
+				return nil, err
+			}
+		case kw == "assign":
+			if err := p.parseAssign(); err != nil {
+				return nil, err
+			}
+		case kw != "":
+			if kind, ok := primitiveKind(kw); ok {
+				if err := p.parsePrimitive(kind); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if err := p.parseInstance(kw); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tokEOF:
+			return nil, p.errf("unexpected end of file before 'endmodule'")
+		default:
+			return nil, p.errf("unexpected %s %q", p.tok.kind, p.tok.text)
+		}
+	}
+}
+
+// parsePortHeader handles both classic headers "(a, b, c)" and ANSI headers
+// "(input a, output [2:0] y)".
+func (p *parser) parsePortHeader() error {
+	if ok, err := p.accept(tokRParen); err != nil || ok {
+		return err
+	}
+	curDir := byte(0)
+	var curRange *[2]int
+	for {
+		switch p.keyword() {
+		case "input":
+			curDir = 'i'
+			curRange = nil
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "output":
+			curDir = 'o'
+			curRange = nil
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "inout":
+			curDir = 'i'
+			curRange = nil
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "wire", "reg":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.tok.kind == tokLBracket {
+			r, err := p.parseRange()
+			if err != nil {
+				return err
+			}
+			curRange = &r
+		}
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		p.ports = append(p.ports, nameTok.text)
+		if curDir != 0 {
+			p.dir[nameTok.text] = curDir
+			if curRange != nil {
+				p.buses[nameTok.text] = *curRange
+				if err := p.declareBus(nameTok.text, *curRange, curDir); err != nil {
+					return err
+				}
+			} else {
+				if err := p.declareScalar(nameTok.text, curDir); err != nil {
+					return err
+				}
+			}
+		}
+		if ok, err := p.accept(tokComma); err != nil {
+			return err
+		} else if ok {
+			continue
+		}
+		_, err = p.expect(tokRParen)
+		return err
+	}
+}
+
+func (p *parser) parseRange() ([2]int, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return [2]int{}, err
+	}
+	msbTok, err := p.expect(tokNumber)
+	if err != nil {
+		return [2]int{}, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return [2]int{}, err
+	}
+	lsbTok, err := p.expect(tokNumber)
+	if err != nil {
+		return [2]int{}, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return [2]int{}, err
+	}
+	msb, _ := strconv.Atoi(msbTok.text)
+	lsb, _ := strconv.Atoi(lsbTok.text)
+	return [2]int{msb, lsb}, nil
+}
+
+func bitName(base string, idx int) string {
+	return fmt.Sprintf("%s[%d]", base, idx)
+}
+
+func (p *parser) declareBus(name string, r [2]int, dir byte) error {
+	lo, hi := r[1], r[0]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := lo; i <= hi; i++ {
+		if err := p.declareScalar(bitName(name, i), dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) declareScalar(name string, dir byte) error {
+	id := p.nl.EnsureNet(name)
+	switch dir {
+	case 'i':
+		p.nl.MarkPI(id)
+	case 'o':
+		p.nl.MarkPO(id)
+	}
+	return nil
+}
+
+// parseDirDecl handles "input [3:0] a, b;" style declarations.
+func (p *parser) parseDirDecl(kw string) error {
+	dir := byte('i')
+	if kw == "output" {
+		dir = 'o'
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.keyword() == "wire" || p.keyword() == "reg" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	var rng *[2]int
+	if p.tok.kind == tokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return err
+		}
+		rng = &r
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		p.dir[nameTok.text] = dir
+		if rng != nil {
+			p.buses[nameTok.text] = *rng
+			if err := p.declareBus(nameTok.text, *rng, dir); err != nil {
+				return err
+			}
+		} else if err := p.declareScalar(nameTok.text, dir); err != nil {
+			return err
+		}
+		if ok, err := p.accept(tokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+func (p *parser) parseWireDecl() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	var rng *[2]int
+	if p.tok.kind == tokLBracket {
+		r, err := p.parseRange()
+		if err != nil {
+			return err
+		}
+		rng = &r
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if rng != nil {
+			p.buses[nameTok.text] = *rng
+			if err := p.declareBus(nameTok.text, *rng, 0); err != nil {
+				return err
+			}
+		} else {
+			p.nl.EnsureNet(nameTok.text)
+		}
+		if ok, err := p.accept(tokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+// parseSupplyDecl treats "supply1 vdd;" as a constant net declaration.
+func (p *parser) parseSupplyDecl(one bool) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		id := p.nl.EnsureNet(nameTok.text)
+		// Model a supply as a buffered constant so the net has a driver.
+		c := p.constNet(one)
+		p.anon++
+		if _, err := p.nl.AddGate(fmt.Sprintf("$supply%d", p.anon), logic.Buf, id, c); err != nil {
+			return p.errf("supply net %q: %v", nameTok.text, err)
+		}
+		if ok, err := p.accept(tokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+// constNet returns the shared $const0/$const1 tie-off net, creating it (as a
+// primary input) on first use.
+func (p *parser) constNet(one bool) netlist.NetID {
+	idx := 0
+	if one {
+		idx = 1
+	}
+	if p.consts[idx] == netlist.NoNet {
+		id := p.nl.EnsureNet(fmt.Sprintf("$const%d", idx))
+		p.nl.MarkPI(id)
+		p.consts[idx] = id
+	}
+	return p.consts[idx]
+}
+
+// netRef parses a net reference: IDENT with optional bit-select, or a based
+// constant literal. Undeclared nets are created implicitly, as in Verilog.
+func (p *parser) netRef() (netlist.NetID, error) {
+	if p.tok.kind == tokBased {
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return netlist.NoNet, err
+		}
+		switch text {
+		case "1'b0", "1'B0", "1'h0", "1'd0":
+			return p.constNet(false), nil
+		case "1'b1", "1'B1", "1'h1", "1'd1":
+			return p.constNet(true), nil
+		}
+		return netlist.NoNet, p.errf("unsupported constant %q", text)
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return netlist.NoNet, err
+	}
+	name := nameTok.text
+	if p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return netlist.NoNet, err
+		}
+		idxTok, err := p.expect(tokNumber)
+		if err != nil {
+			return netlist.NoNet, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return netlist.NoNet, err
+		}
+		idx, _ := strconv.Atoi(idxTok.text)
+		name = bitName(name, idx)
+	} else if _, isBus := p.buses[name]; isBus {
+		return netlist.NoNet, p.errf("vector net %q used without a bit-select", name)
+	}
+	return p.nl.EnsureNet(name), nil
+}
+
+// parseAssign handles "assign lhs = rhs;" where rhs is a net or a 1-bit
+// constant; it becomes a BUF gate so that structure is preserved.
+func (p *parser) parseAssign() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	lhs, err := p.netRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return err
+	}
+	rhs, err := p.netRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	p.anon++
+	if _, err := p.nl.AddGate(fmt.Sprintf("$assign%d", p.anon), logic.Buf, lhs, rhs); err != nil {
+		return p.errf("assign: %v", err)
+	}
+	return nil
+}
+
+// parsePrimitive handles "nand g1 (y, a, b);" with an optional instance name.
+func (p *parser) parsePrimitive(kind logic.Kind) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	inst := ""
+	if p.tok.kind == tokIdent {
+		inst = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var nets []netlist.NetID
+	for {
+		n, err := p.netRef()
+		if err != nil {
+			return err
+		}
+		nets = append(nets, n)
+		if ok, err := p.accept(tokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if len(nets) < 2 {
+		return p.errf("gate primitive needs an output and at least one input")
+	}
+	if inst == "" {
+		p.anon++
+		inst = fmt.Sprintf("$gate%d", p.anon)
+	}
+	if _, err := p.nl.AddGate(inst, kind, nets[0], nets[1:]...); err != nil {
+		return p.errf("gate %q: %v", inst, err)
+	}
+	return nil
+}
+
+// parseInstance handles library cell instances with positional or named
+// connections: "NAND3 U12 (y, a, b, c);" or "DFF r (.D(d), .Q(q), .CK(clk));".
+func (p *parser) parseInstance(cell string) error {
+	kind, ok := CellKind(cell)
+	if !ok {
+		if p.resolveModule != nil {
+			if sub, portOrder, isMod := p.resolveModule(cell); isMod {
+				return p.parseSubmoduleInstance(cell, sub, portOrder)
+			}
+			if p.resolveErr != nil {
+				return p.resolveErr
+			}
+		}
+		return p.errf("unknown cell type %q", cell)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	instTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	// Optional "#(...)" parameter lists are not produced by synthesis
+	// netlists we target; reject them clearly.
+	if p.tok.kind == tokHash {
+		return p.errf("parameterized instances are not supported")
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+
+	out := netlist.NoNet
+	var ins []netlist.NetID
+	if p.tok.kind == tokDot {
+		slots := make(map[int]netlist.NetID)
+		maxSlot := -1
+		for {
+			if _, err := p.expect(tokDot); err != nil {
+				return err
+			}
+			pinTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return err
+			}
+			n, err := p.netRef()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			slot, known := pinRole(kind, pinTok.text)
+			if !known {
+				return p.errf("cell %s: unknown pin %q", cell, pinTok.text)
+			}
+			switch {
+			case slot == -1:
+				out = n
+			case slot >= 0:
+				slots[slot] = n
+				if slot > maxSlot {
+					maxSlot = slot
+				}
+			}
+			if ok, err := p.accept(tokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		ins = make([]netlist.NetID, maxSlot+1)
+		for i := range ins {
+			n, filled := slots[i]
+			if !filled {
+				return p.errf("cell %s %s: input pin %d unconnected", cell, instTok.text, i)
+			}
+			ins[i] = n
+		}
+	} else {
+		var nets []netlist.NetID
+		for {
+			n, err := p.netRef()
+			if err != nil {
+				return err
+			}
+			nets = append(nets, n)
+			if ok, err := p.accept(tokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		if len(nets) < 2 {
+			return p.errf("cell %s %s: needs an output and at least one input", cell, instTok.text)
+		}
+		out = nets[0]
+		ins = nets[1:]
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if out == netlist.NoNet {
+		return p.errf("cell %s %s: output pin unconnected", cell, instTok.text)
+	}
+	if _, err := p.nl.AddGate(instTok.text, kind, out, ins...); err != nil {
+		return p.errf("cell %s %s: %v", cell, instTok.text, err)
+	}
+	return nil
+}
+
+func (p *parser) finish() (*netlist.Netlist, error) {
+	for _, port := range p.ports {
+		if _, declared := p.dir[port]; !declared {
+			return nil, fmt.Errorf("%s: port %q has no direction declaration", p.lx.file, port)
+		}
+	}
+	return p.nl, nil
+}
+
+// parseSubmoduleInstance handles a hierarchical instance of another library
+// module: the connections are parsed (named ".port(net)" or positional in
+// the child's header order), then the elaborated child is spliced inline
+// with "<instance>/" name prefixing. Only scalar child ports are supported.
+func (p *parser) parseSubmoduleInstance(cell string, sub *netlist.Netlist, portOrder []string) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	instTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	bindings := map[string]netlist.NetID{}
+	if p.tok.kind == tokDot {
+		for {
+			if _, err := p.expect(tokDot); err != nil {
+				return err
+			}
+			pinTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokLParen); err != nil {
+				return err
+			}
+			n, err := p.netRef()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			bindings[pinTok.text] = n
+			if ok, err := p.accept(tokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+	} else {
+		idx := 0
+		for {
+			n, err := p.netRef()
+			if err != nil {
+				return err
+			}
+			if idx >= len(portOrder) {
+				return p.errf("instance %s of %s: too many connections (module has %d ports)",
+					instTok.text, cell, len(portOrder))
+			}
+			bindings[portOrder[idx]] = n
+			idx++
+			if ok, err := p.accept(tokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	// Resolve port names to the child's net names; vector ports are not
+	// supported for hierarchical instances.
+	netBindings := map[string]netlist.NetID{}
+	for port, parent := range bindings {
+		if _, ok := sub.NetByName(port); !ok {
+			if _, isVec := sub.NetByName(port + "[0]"); isVec {
+				return p.errf("instance %s of %s: vector port %q not supported in hierarchical instances",
+					instTok.text, cell, port)
+			}
+			return p.errf("instance %s of %s: no port %q", instTok.text, cell, port)
+		}
+		netBindings[port] = parent
+	}
+	if err := p.splice(sub, instTok.text, netBindings); err != nil {
+		return p.errf("%v", err)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+func TestParseClassicModule(t *testing.T) {
+	src := `
+// classic header with separate declarations
+module top (a, b, clk, y);
+  input a, b;
+  input clk;
+  output y;
+  wire n1;
+  NAND2 U1 (n1, a, b);
+  DFF r (y, n1);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "top" {
+		t.Errorf("name %q", nl.Name)
+	}
+	if len(nl.PIs()) != 3 || len(nl.POs()) != 1 {
+		t.Errorf("ports: %d PIs %d POs", len(nl.PIs()), len(nl.POs()))
+	}
+	if nl.GateCount() != 2 {
+		t.Errorf("gates %d", nl.GateCount())
+	}
+	id, _ := nl.NetByName("n1")
+	g := nl.Gate(nl.Net(id).Driver)
+	if g.Kind != logic.Nand || len(g.Inputs) != 2 {
+		t.Errorf("U1 parsed as %s/%d", g.Kind, len(g.Inputs))
+	}
+}
+
+func TestParseANSIHeader(t *testing.T) {
+	src := `
+module m (input a, input [1:0] b, output y);
+  NAND3 g (y, a, b[0], b[1]);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.PIs()) != 3 {
+		t.Errorf("PIs = %d, want 3 (a, b[0], b[1])", len(nl.PIs()))
+	}
+	if _, ok := nl.NetByName("b[1]"); !ok {
+		t.Error("bus bit b[1] missing")
+	}
+}
+
+func TestParseVectorWire(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire [2:0] v;
+  NOT i0 (v[0], a);
+  NOT i1 (v[1], v[0]);
+  NOT i2 (v[2], v[1]);
+  BUF b (y, v[2]);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"v[0]", "v[1]", "v[2]"} {
+		if _, ok := nl.NetByName(n); !ok {
+			t.Errorf("net %s missing", n)
+		}
+	}
+}
+
+func TestParseNamedConnections(t *testing.T) {
+	src := `
+module m (a, b, s, clk, q);
+  input a, b, s, clk;
+  output q;
+  wire y, z;
+  MUX2 mx (.Y(y), .S(s), .A(a), .B(b));
+  AOI21_X2 ao (.A(a), .B(b), .C(y), .Y(z));
+  DFF r (.CK(clk), .D(z), .Q(q));
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.NetByName("y")
+	mx := nl.Gate(nl.Net(y).Driver)
+	if mx.Kind != logic.Mux2 {
+		t.Fatalf("mux kind %s", mx.Kind)
+	}
+	// Pin order [sel, a, b].
+	if nl.NetName(mx.Inputs[0]) != "s" || nl.NetName(mx.Inputs[1]) != "a" || nl.NetName(mx.Inputs[2]) != "b" {
+		t.Errorf("mux pins: %s %s %s", nl.NetName(mx.Inputs[0]), nl.NetName(mx.Inputs[1]), nl.NetName(mx.Inputs[2]))
+	}
+	z, _ := nl.NetByName("z")
+	ao := nl.Gate(nl.Net(z).Driver)
+	if ao.Kind != logic.Aoi21 || nl.NetName(ao.Inputs[2]) != "y" {
+		t.Errorf("aoi parsed wrong: %s %v", ao.Kind, ao.Inputs)
+	}
+	q, _ := nl.NetByName("q")
+	ff := nl.Gate(nl.Net(q).Driver)
+	if ff.Kind != logic.DFF || len(ff.Inputs) != 1 || nl.NetName(ff.Inputs[0]) != "z" {
+		t.Errorf("dff parsed wrong: %s %v", ff.Kind, ff.Inputs)
+	}
+}
+
+func TestParsePrimitives(t *testing.T) {
+	src := `
+module m (a, b, y);
+  input a, b;
+  output y;
+  wire n1, n2;
+  nand (n1, a, b);
+  nor g2 (n2, n1, a);
+  xor (y, n2, b);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateCount() != 3 {
+		t.Errorf("gates %d", nl.GateCount())
+	}
+}
+
+func TestParseAssignAndConstants(t *testing.T) {
+	src := `
+module m (a, y, z);
+  input a;
+  output y, z;
+  assign y = a;
+  AND2 g (z, a, 1'b1);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.NetByName("y")
+	if nl.Gate(nl.Net(y).Driver).Kind != logic.Buf {
+		t.Error("assign must become BUF")
+	}
+	if _, ok := nl.NetByName("$const1"); !ok {
+		t.Error("constant tie net missing")
+	}
+}
+
+func TestParseSupply(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  supply1 vdd;
+  AND2 g (y, a, vdd);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd, ok := nl.NetByName("vdd")
+	if !ok || nl.Net(vdd).Driver == -1 {
+		t.Error("supply net must be driven")
+	}
+}
+
+func TestParseEscapedNames(t *testing.T) {
+	src := "module m (a, \\q[0] );\n  input a;\n  output \\q[0] ;\n  DFF \\r_reg[0] (\\q[0] , a);\nendmodule\n"
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nl.NetByName("q[0]"); !ok {
+		t.Error("escaped port name lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"missing module", "wire x;", "expected 'module'"},
+		{"undeclared port dir", "module m (p);\nendmodule", "no direction"},
+		{"unknown cell", "module m (a);\n input a;\n wire y;\n BOGUS77 u (y, a);\nendmodule", "unknown cell"},
+		{"unknown pin", "module m (a);\n input a;\n wire y;\n NAND2 u (.Y(y), .QQ(a), .B(a));\nendmodule", "unknown pin"},
+		{"double driver", "module m (a);\n input a;\n wire y;\n NOT u1 (y, a);\n NOT u2 (y, a);\nendmodule", "already driven"},
+		{"bad arity", "module m (a);\n input a;\n wire y;\n MUX2 u (y, a, a);\nendmodule", "MUX2 with 2 inputs"},
+		{"vector as scalar", "module m (a);\n input a;\n wire [1:0] v;\n NOT u (v, a);\nendmodule", "without a bit-select"},
+		{"missing input pin", "module m (a);\n input a;\n wire y;\n NAND2 u (.Y(y), .B(a));\nendmodule", "unconnected"},
+		{"eof", "module m (a);\n input a;\n", "unexpected end of file"},
+		{"bad constant", "module m (a);\n input a;\n wire y;\n AND2 u (y, a, 4'hF);\nendmodule", "unsupported constant"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.v", c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestParseFloatingNetRejected(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire ghost;
+  BUF b (y, a);
+endmodule
+`
+	if _, err := Parse("t.v", src); err == nil {
+		t.Error("netlist with undriven non-PI wire accepted")
+	}
+}
+
+func TestParseGateOrderPreserved(t *testing.T) {
+	src := `
+module m (a);
+  input a;
+  wire n1, n2, n3;
+  NOT u3 (n3, a);
+  NOT u1 (n1, a);
+  NOT u2 (n2, a);
+endmodule
+`
+	nl, err := Parse("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"u3", "u1", "u2"}
+	for i, w := range want {
+		if nl.Gate(int32ToGateID(i)).Name != w {
+			t.Fatalf("gate order not preserved")
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+func int32ToGateID(i int) netlist.GateID { return netlist.GateID(i) }
+
+func TestCellKind(t *testing.T) {
+	cases := []struct {
+		cell string
+		kind logic.Kind
+		ok   bool
+	}{
+		{"NAND2", logic.Nand, true},
+		{"NAND3", logic.Nand, true},
+		{"nand4", logic.Nand, true},
+		{"NAND2X1", logic.Nand, true},
+		{"NAND2_X4", logic.Nand, true},
+		{"AND2", logic.And, true},
+		{"OR4", logic.Or, true},
+		{"NOR2", logic.Nor, true},
+		{"XOR2", logic.Xor, true},
+		{"XNOR2", logic.Xnor, true},
+		{"MUX2", logic.Mux2, true},
+		{"MUX2X1", logic.Mux2, true},
+		{"MX2", logic.Mux2, true},
+		{"INV", logic.Not, true},
+		{"INVX8", logic.Not, true},
+		{"NOT", logic.Not, true},
+		{"BUF", logic.Buf, true},
+		{"AOI21", logic.Aoi21, true},
+		{"AOI21_X2", logic.Aoi21, true},
+		{"OAI21", logic.Oai21, true},
+		{"AOI22", logic.Invalid, false},
+		{"DFF", logic.DFF, true},
+		{"DFFX1", logic.DFF, true},
+		{"FD1", logic.DFF, true},
+		{"SDFF", logic.DFF, true},
+		{"MYSTERY", logic.Invalid, false},
+		{"ND2", logic.Nand, true},
+		{"IV", logic.Not, true},
+		{"EO2", logic.Xor, true},
+	}
+	for _, c := range cases {
+		kind, ok := CellKind(c.cell)
+		if kind != c.kind || ok != c.ok {
+			t.Errorf("CellKind(%q) = %s,%v want %s,%v", c.cell, kind, ok, c.kind, c.ok)
+		}
+	}
+}
+
+func TestCellNameParsesBack(t *testing.T) {
+	for _, k := range logic.Kinds() {
+		arity := 2
+		if n, fixed := k.FixedArity(); fixed {
+			arity = n
+		}
+		name := CellName(k, arity)
+		got, ok := CellKind(name)
+		if !ok || got != k {
+			t.Errorf("CellKind(CellName(%s)) = %s,%v", k, got, ok)
+		}
+	}
+}
+
+func TestEscapeName(t *testing.T) {
+	cases := map[string]string{
+		"plain":  "plain",
+		"a[3]":   "\\a[3] ",
+		"$const": "$const",
+		"3bad":   "\\3bad ",
+		"nand":   "\\nand ", // keyword collision
+		"wire":   "\\wire ",
+	}
+	for in, want := range cases {
+		if got := escapeName(in); got != want {
+			t.Errorf("escapeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// randomNetlist builds a random valid netlist with buses, DFFs, awkward
+// names, and every cell kind, for the round-trip property.
+func randomNetlist(rng *rand.Rand) *netlist.Netlist {
+	nl := netlist.New("rt")
+	var nets []netlist.NetID
+	for i := 0; i < 5; i++ {
+		name := []string{"a", "b[0]", "b[1]", "weird$name", "esc[2]"}[i]
+		id := nl.MustNet(name)
+		nl.MarkPI(id)
+		nets = append(nets, id)
+	}
+	kinds := logic.CombinationalKinds()
+	for i := 0; i < 20; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		arity := 2
+		if n, fixed := k.FixedArity(); fixed {
+			arity = n
+		} else if rng.Intn(2) == 0 {
+			arity = 3
+		}
+		ins := make([]netlist.NetID, arity)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		out := nl.MustNet(randName(rng, i))
+		nl.MustGate(gname(i), k, out, ins...)
+		nets = append(nets, out)
+	}
+	// Some flip-flops with register-style names.
+	for i := 0; i < 3; i++ {
+		q := nl.MustNet(gname(100 + i))
+		nl.MustGate("ffq"+string(rune('0'+i)), logic.DFF, q, nets[rng.Intn(len(nets))])
+		nets = append(nets, q)
+	}
+	nl.MarkPO(nets[len(nets)-1])
+	return nl
+}
+
+func randName(rng *rand.Rand, i int) string {
+	switch rng.Intn(4) {
+	case 0:
+		return "n" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	case 1:
+		return "bus" + string(rune('0'+i%10)) + "[" + string(rune('0'+i/10)) + "]"
+	case 2:
+		return "U" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+	default:
+		return "w_" + string(rune('0'+i%10)) + string(rune('a'+i/10%26))
+	}
+}
+
+func gname(i int) string { return "g" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+
+// TestRoundTrip checks parse(write(nl)) == nl structurally, including gate
+// order, which is semantic for the adjacency heuristic.
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		nl := randomNetlist(rand.New(rand.NewSource(seed)))
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("seed %d: source invalid: %v", seed, err)
+		}
+		text, err := WriteString(nl)
+		if err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		back, err := Parse("rt.v", text)
+		if err != nil {
+			t.Fatalf("seed %d: parse back: %v\n%s", seed, err, text)
+		}
+		if back.NetCount() != nl.NetCount() {
+			t.Fatalf("seed %d: nets %d != %d", seed, back.NetCount(), nl.NetCount())
+		}
+		if back.GateCount() != nl.GateCount() {
+			t.Fatalf("seed %d: gates %d != %d", seed, back.GateCount(), nl.GateCount())
+		}
+		for gi := 0; gi < nl.GateCount(); gi++ {
+			g1 := nl.Gate(netlist.GateID(gi))
+			g2 := back.Gate(netlist.GateID(gi))
+			if g1.Kind != g2.Kind || g1.Name != g2.Name {
+				t.Fatalf("seed %d gate %d: %s %q != %s %q", seed, gi, g1.Kind, g1.Name, g2.Kind, g2.Name)
+			}
+			if nl.NetName(g1.Output) != back.NetName(g2.Output) {
+				t.Fatalf("seed %d gate %d: output name mismatch", seed, gi)
+			}
+			for pi := range g1.Inputs {
+				if nl.NetName(g1.Inputs[pi]) != back.NetName(g2.Inputs[pi]) {
+					t.Fatalf("seed %d gate %d pin %d: input name mismatch", seed, gi, pi)
+				}
+			}
+		}
+		// Port markings survive.
+		for _, pi := range nl.PIs() {
+			id, ok := back.NetByName(nl.NetName(pi))
+			if !ok || !back.Net(id).IsPI {
+				t.Fatalf("seed %d: PI %q lost", seed, nl.NetName(pi))
+			}
+		}
+	}
+}
+
+func TestWriterOutputShape(t *testing.T) {
+	nl := netlist.New("mod")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.MarkPO(y)
+	nl.MustGate("u1", logic.Not, y, a)
+	s, err := WriteString(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"module mod (a, y);", "input a;", "output y;", "NOT u1 (y, a);", "endmodule"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}

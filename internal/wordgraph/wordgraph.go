@@ -1,0 +1,268 @@
+// Package wordgraph assembles the recovered word-level view of a design
+// into a dataflow graph: nodes are words (buses, register inputs, register
+// outputs), edges are the operators connecting them (from internal/modid)
+// plus register transfers (a word of D pins clocking into a word of Q
+// outputs). The graph renders as Graphviz DOT — the "reconstruct an HDL
+// description of the design" outcome the paper's introduction motivates.
+package wordgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/modid"
+	"gatewords/internal/netlist"
+)
+
+// Node is one word in the graph.
+type Node struct {
+	ID    int
+	Bits  []netlist.NetID
+	Label string
+	// Kind is "input" (all bits are primary inputs), "state" (all bits are
+	// flip-flop outputs), or "word".
+	Kind string
+}
+
+// Edge is one recovered relation between words.
+type Edge struct {
+	From int // operand / D-word node
+	To   int // result / Q-word node
+	// Label describes the relation: an operator kind ("mux", "adder",
+	// "xor", ...), or "reg" for a register transfer.
+	Label string
+	// Operand numbers multi-input operators (0, 1, ...); -1 for reg edges
+	// and single-operand edges.
+	Operand int
+}
+
+// Graph is the recovered word-level dataflow.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// Build constructs the graph over the given words (identified and/or
+// propagated). Sub-words fully contained in another word are dropped;
+// operator edges come from modid; register-transfer edges connect a word of
+// D-input nets to the word formed by the corresponding flip-flop outputs,
+// when that word is present too.
+func Build(nl *netlist.Netlist, words [][]netlist.NetID) *Graph {
+	words = Maximal(words)
+	g := &Graph{}
+	nodeOf := map[string]int{}
+	keyOf := func(bits []netlist.NetID) string {
+		ids := append([]netlist.NetID(nil), bits...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var sb strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "%d,", id)
+		}
+		return sb.String()
+	}
+	addNode := func(bits []netlist.NetID) int {
+		k := keyOf(bits)
+		if id, ok := nodeOf[k]; ok {
+			return id
+		}
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{
+			ID:    id,
+			Bits:  append([]netlist.NetID(nil), bits...),
+			Label: WordLabel(nl, bits),
+			Kind:  classifyNode(nl, bits),
+		})
+		nodeOf[k] = id
+		return id
+	}
+	for _, w := range words {
+		addNode(w)
+	}
+
+	// Operator edges.
+	for _, m := range modid.Discover(nl, words) {
+		to := addNode(m.Output)
+		label := m.Kind.String()
+		if m.Kind == modid.Bitwise {
+			label = strings.ToLower(m.Op.String())
+		}
+		for oi, in := range m.Inputs {
+			operand := oi
+			if len(m.Inputs) == 1 {
+				operand = -1
+			}
+			g.Edges = append(g.Edges, Edge{From: addNode(in), To: to, Label: label, Operand: operand})
+		}
+	}
+
+	// Register-transfer edges: a word whose bits all feed DFF D pins maps
+	// to the word of those DFFs' outputs.
+	for _, w := range words {
+		qBits := make([]netlist.NetID, 0, len(w))
+		ok := true
+		for _, b := range w {
+			q := dffOutputFor(nl, b)
+			if q == netlist.NoNet {
+				ok = false
+				break
+			}
+			qBits = append(qBits, q)
+		}
+		if !ok {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{From: addNode(w), To: addNode(qBits), Label: "reg", Operand: -1})
+	}
+	return g
+}
+
+// dffOutputFor returns the output of the unique DFF whose D pin reads net,
+// or NoNet.
+func dffOutputFor(nl *netlist.Netlist, net netlist.NetID) netlist.NetID {
+	out := netlist.NoNet
+	for _, f := range nl.Net(net).Fanout {
+		g := nl.Gate(f)
+		if g.Kind != logic.DFF {
+			continue
+		}
+		if out != netlist.NoNet {
+			return netlist.NoNet // ambiguous
+		}
+		out = g.Output
+	}
+	return out
+}
+
+func classifyNode(nl *netlist.Netlist, bits []netlist.NetID) string {
+	allPI, allState := true, true
+	for _, b := range bits {
+		n := nl.Net(b)
+		if !n.IsPI {
+			allPI = false
+		}
+		if n.Driver == netlist.NoGate || nl.Gate(n.Driver).Kind != logic.DFF {
+			allState = false
+		}
+	}
+	switch {
+	case allPI:
+		return "input"
+	case allState:
+		return "state"
+	}
+	return "word"
+}
+
+// WordLabel renders a compact bus-style label: "a[3:0]" when the bit names
+// share a base with indices, else "first..last".
+func WordLabel(nl *netlist.Netlist, bits []netlist.NetID) string {
+	if len(bits) == 0 {
+		return "{}"
+	}
+	base, lo, okLo := splitIndexed(nl.NetName(bits[0]))
+	hiBase, hi, okHi := splitIndexed(nl.NetName(bits[len(bits)-1]))
+	if okLo && okHi && base == hiBase {
+		uniform := true
+		for i, b := range bits {
+			bb, idx, ok := splitIndexed(nl.NetName(b))
+			if !ok || bb != base || idx != lo+i {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			return fmt.Sprintf("%s[%d:%d]", base, hi, lo)
+		}
+	}
+	return nl.NetName(bits[0]) + ".." + nl.NetName(bits[len(bits)-1])
+}
+
+// splitIndexed parses "name[3]" / "name_3_".
+func splitIndexed(name string) (string, int, bool) {
+	if n := len(name); n >= 3 && name[n-1] == ']' {
+		if open := strings.LastIndexByte(name, '['); open > 0 {
+			idx := 0
+			if _, err := fmt.Sscanf(name[open+1:n-1], "%d", &idx); err == nil {
+				return name[:open], idx, true
+			}
+		}
+	}
+	if n := len(name); n >= 3 && name[n-1] == '_' {
+		body := name[:n-1]
+		if us := strings.LastIndexByte(body, '_'); us > 0 {
+			idx := 0
+			if _, err := fmt.Sscanf(body[us+1:], "%d", &idx); err == nil {
+				return name[:us], idx, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// Maximal drops words whose bit set is contained in another word's.
+func Maximal(words [][]netlist.NetID) [][]netlist.NetID {
+	var out [][]netlist.NetID
+	for i, w := range words {
+		sub := false
+		for j, v := range words {
+			if i == j || len(w) > len(v) {
+				continue
+			}
+			if len(w) == len(v) && i < j {
+				continue
+			}
+			set := map[netlist.NetID]bool{}
+			for _, n := range v {
+				set[n] = true
+			}
+			all := true
+			for _, n := range w {
+				if !set[n] {
+					all = false
+					break
+				}
+			}
+			if all {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WriteDOT renders the graph.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", name); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case "input":
+			shape = "ellipse"
+		case "state":
+			shape = "box3d"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", n.ID, n.Label, shape); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		label := e.Label
+		if e.Operand >= 0 {
+			label = fmt.Sprintf("%s.%d", e.Label, e.Operand)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", e.From, e.To, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,172 @@
+package wordgraph
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+	"gatewords/internal/rtl"
+	"gatewords/internal/synth"
+)
+
+// dpWords synthesizes r = sel ? (a ^ b) : r and returns the netlist plus
+// the word set: D word, xor word, a/b buses, q word.
+func dpWords(t *testing.T) (*netlist.Netlist, [][]netlist.NetID) {
+	t.Helper()
+	d := &rtl.Design{
+		Name:   "dp",
+		Inputs: []rtl.Signal{{Name: "a", Width: 3}, {Name: "b", Width: 3}, {Name: "sel", Width: 1}},
+		Regs: []*rtl.Reg{{Name: "r", Width: 3, Next: rtl.Mux{
+			Sel: rtl.Ref{Name: "sel"},
+			A:   rtl.Ref{Name: "r"},
+			B:   rtl.Bin{Kind: logic.Xor, A: rtl.Ref{Name: "a"}, B: rtl.Ref{Name: "b"}},
+		}}},
+	}
+	res, err := synth.Synthesize(d, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.NL
+	byName := func(names ...string) []netlist.NetID {
+		var out []netlist.NetID
+		for _, n := range names {
+			id, ok := nl.NetByName(n)
+			if !ok {
+				t.Fatalf("net %s missing", n)
+			}
+			out = append(out, id)
+		}
+		return out
+	}
+	// The xor nets are the mux's sel=1 operands.
+	dword := res.RegRoots["r"]
+	muxGate := nl.Gate(nl.Net(dword[0]).Driver)
+	if muxGate.Kind != logic.Mux2 {
+		t.Fatalf("root kind %s", muxGate.Kind)
+	}
+	var xorWord []netlist.NetID
+	for _, bit := range dword {
+		xorWord = append(xorWord, nl.Gate(nl.Net(bit).Driver).Inputs[2])
+	}
+	words := [][]netlist.NetID{
+		dword,
+		xorWord,
+		byName("a[0]", "a[1]", "a[2]"),
+		byName("b[0]", "b[1]", "b[2]"),
+		byName("r_reg[0]", "r_reg[1]", "r_reg[2]"),
+	}
+	return nl, words
+}
+
+func TestBuildGraph(t *testing.T) {
+	nl, words := dpWords(t)
+	g := Build(nl, words)
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes: %d", len(g.Nodes))
+	}
+	find := func(label string) *Node {
+		for i := range g.Nodes {
+			if g.Nodes[i].Label == label {
+				return &g.Nodes[i]
+			}
+		}
+		return nil
+	}
+	a := find("a[2:0]")
+	if a == nil || a.Kind != "input" {
+		t.Fatalf("input bus node: %+v", a)
+	}
+	q := find("r_reg[2:0]")
+	if q == nil || q.Kind != "state" {
+		t.Fatalf("state node: %+v", q)
+	}
+	kinds := map[string]int{}
+	for _, e := range g.Edges {
+		kinds[e.Label]++
+	}
+	if kinds["xor"] != 2 { // two operand edges into the xor word
+		t.Errorf("xor edges: %+v", kinds)
+	}
+	if kinds["mux"] != 2 {
+		t.Errorf("mux edges: %+v", kinds)
+	}
+	if kinds["reg"] != 1 {
+		t.Errorf("reg edges: %+v", kinds)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	nl, words := dpWords(t)
+	g := Build(nl, words)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "dp"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph", "a[2:0]", "reg", "->"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	words := [][]netlist.NetID{
+		{1, 2, 3, 4},
+		{1, 2},       // sub-word
+		{5, 6},       // independent
+		{2, 3, 4, 1}, // duplicate (different order)
+	}
+	out := Maximal(words)
+	if len(out) != 2 {
+		t.Fatalf("maximal: %v", out)
+	}
+}
+
+func TestWordLabelStyles(t *testing.T) {
+	nl := netlist.New("t")
+	var bus, odd []netlist.NetID
+	for i := 0; i < 3; i++ {
+		id := nl.MustNet("d[" + string(rune('0'+i)) + "]")
+		nl.MarkPI(id)
+		bus = append(bus, id)
+	}
+	x := nl.MustNet("x")
+	nl.MarkPI(x)
+	y := nl.MustNet("zz")
+	nl.MarkPI(y)
+	odd = append(odd, x, y)
+	if got := WordLabel(nl, bus); got != "d[2:0]" {
+		t.Errorf("bus label %q", got)
+	}
+	if got := WordLabel(nl, odd); got != "x..zz" {
+		t.Errorf("odd label %q", got)
+	}
+	if got := WordLabel(nl, nil); got != "{}" {
+		t.Errorf("empty label %q", got)
+	}
+	// Synopsys underscore style.
+	var us []netlist.NetID
+	for i := 0; i < 2; i++ {
+		id := nl.MustNet("s_" + string(rune('0'+i)) + "_")
+		nl.MarkPI(id)
+		us = append(us, id)
+	}
+	if got := WordLabel(nl, us); got != "s[1:0]" {
+		t.Errorf("underscore label %q", got)
+	}
+}
+
+func TestDFFOutputForAmbiguity(t *testing.T) {
+	nl := netlist.New("t")
+	d := nl.MustNet("d")
+	nl.MarkPI(d)
+	q1 := nl.MustNet("q1")
+	q2 := nl.MustNet("q2")
+	nl.MustGate("ff1", logic.DFF, q1, d)
+	nl.MustGate("ff2", logic.DFF, q2, d)
+	if got := dffOutputFor(nl, d); got != netlist.NoNet {
+		t.Error("ambiguous DFF fanout must yield NoNet")
+	}
+}

@@ -1,0 +1,61 @@
+package gatewords
+
+import (
+	"io"
+	"time"
+
+	"gatewords/internal/report"
+)
+
+// WriteJSON serializes an identification report as machine-readable JSON.
+// ev may be nil (no golden reference available); includeAll keeps 1-bit
+// words; runtime records the identification wall time.
+func WriteJSON(w io.Writer, d *Design, rep *Report, ev *Evaluation, includeAll bool, runtime time.Duration) error {
+	st := d.Stats()
+	doc := &report.Document{
+		Tool:      "gatewords",
+		Module:    d.Name(),
+		Technique: rep.Technique,
+		Stats: report.Stats{
+			Nets: st.Nets, Gates: st.Gates, DFFs: st.DFFs, PIs: st.PIs, POs: st.POs,
+		},
+		ControlSignalsUsed:  rep.ControlSignalsUsed,
+		ControlSignalsFound: rep.ControlSignalsFound,
+	}
+	doc.SetRuntime(runtime)
+	words := rep.Words
+	if !includeAll {
+		words = rep.MultiBitWords()
+	}
+	for _, w := range words {
+		jw := report.Word{
+			Bits:           w.Bits,
+			Verified:       w.Verified,
+			ControlSignals: w.ControlSignals,
+		}
+		if len(w.Assignment) > 0 {
+			jw.Assignment = make(map[string]int, len(w.Assignment))
+			for n, v := range w.Assignment {
+				bit := 0
+				if v {
+					bit = 1
+				}
+				jw.Assignment[n] = bit
+			}
+		}
+		doc.Words = append(doc.Words, jw)
+	}
+	if ev != nil {
+		doc.Evaluation = &report.Evaluation{
+			ReferenceWords:    ev.ReferenceWords,
+			FullyFound:        ev.FullyFound,
+			PartiallyFound:    ev.PartiallyFound,
+			NotFound:          ev.NotFound,
+			FullyFoundPct:     ev.FullyFoundPct,
+			NotFoundPct:       ev.NotFoundPct,
+			FragmentationRate: ev.FragmentationRate,
+			PerWord:           ev.PerWord,
+		}
+	}
+	return doc.Write(w)
+}

@@ -1,0 +1,98 @@
+package gatewords
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gatewords/internal/report"
+)
+
+func TestWriteJSON(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(d, rep)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, d, rep, &ev, false, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := report.Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("emitted JSON unreadable: %v", err)
+	}
+	if doc.Module != "dp" || doc.Technique != "control-signals" {
+		t.Errorf("header: %+v", doc)
+	}
+	if doc.Stats.DFFs != 3 {
+		t.Errorf("stats: %+v", doc.Stats)
+	}
+	if doc.Evaluation == nil || doc.Evaluation.ReferenceWords != 1 {
+		t.Errorf("evaluation: %+v", doc.Evaluation)
+	}
+	if doc.Runtime != 0.25 {
+		t.Errorf("runtime: %f", doc.Runtime)
+	}
+	for _, w := range doc.Words {
+		if len(w.Bits) < 2 {
+			t.Error("includeAll=false leaked a singleton")
+		}
+	}
+
+	// Without evaluation, the block is omitted.
+	sb.Reset()
+	if err := WriteJSON(&sb, d, rep, nil, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "evaluation") {
+		t.Error("nil evaluation serialized")
+	}
+}
+
+func TestWriteWordGraphDOT(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{DFFInputsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words [][]string
+	for _, w := range Propagate(d, rep, PropagateOptions{}) {
+		words = append(words, w.Bits)
+	}
+	var sb strings.Builder
+	if err := WriteWordGraphDOT(&sb, d, words); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"digraph", "a[2:0]", "mux", "->"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("word graph missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestIdentifyFunctionalFacade(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := IdentifyFunctional(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Technique != "functional" {
+		t.Errorf("technique %q", rep.Technique)
+	}
+	ev := Evaluate(d, rep)
+	if ev.FullyFound != 1 {
+		t.Errorf("functional matcher on uniform word: %+v", ev)
+	}
+}

@@ -1,0 +1,121 @@
+package gatewords
+
+import (
+	"io"
+
+	"gatewords/internal/modid"
+	"gatewords/internal/netlist"
+	"gatewords/internal/propagate"
+	"gatewords/internal/wordgraph"
+)
+
+// PropagatedWord is a word derived by word propagation, with provenance.
+type PropagatedWord struct {
+	Bits []string
+	// Direction is "seed", "forward", or "backward".
+	Direction string
+	// Round is the propagation round that produced it (0 for seeds).
+	Round int
+}
+
+// PropagateOptions bounds word propagation.
+type PropagateOptions struct {
+	// MaxRounds caps fixpoint iterations (default 4).
+	MaxRounds int
+}
+
+// Propagate expands a report's multi-bit words through the netlist
+// (WordRev-style word propagation, the downstream stage the paper's
+// evaluation feeds): words travel forward through parallel gate columns and
+// backward to their operand words, recovering buses — including primary
+// input buses — that the structural matcher alone cannot see.
+func Propagate(d *Design, rep *Report, opt PropagateOptions) []PropagatedWord {
+	var seeds [][]netlist.NetID
+	for _, w := range rep.Words {
+		if len(w.Bits) < 2 {
+			continue
+		}
+		seeds = append(seeds, d.netIDs(w.Bits))
+	}
+	res := propagate.Expand(d.nl, seeds, propagate.Options{MaxRounds: opt.MaxRounds})
+	out := make([]PropagatedWord, 0, len(res.Words))
+	for _, w := range res.Words {
+		out = append(out, PropagatedWord{
+			Bits:      d.netNames(w.Bits),
+			Direction: w.Dir.String(),
+			Round:     w.Round,
+		})
+	}
+	return out
+}
+
+// Operator is a recovered word-level operator instance.
+type Operator struct {
+	// Kind is "mux", "bitwise", "inv", "pass", "adder", or "incr".
+	Kind string
+	// Op is the per-bit gate for bitwise operators ("XOR", "NAND", ...).
+	Op string
+	// Output and Inputs are LSB-aligned net-name words.
+	Output []string
+	Inputs [][]string
+	// Select is the mux select net.
+	Select string
+	// HDL is a reconstructed description, e.g. "{d0..d3} = s ? {b0..b3} : {a0..a3}".
+	HDL string
+}
+
+// DiscoverOperators classifies the operators driving the given words
+// (identified and/or propagated), reconstructing word-level structure from
+// the sea of gates — the module-identification step the paper's
+// introduction motivates.
+func DiscoverOperators(d *Design, words [][]string) []Operator {
+	ids := make([][]netlist.NetID, 0, len(words))
+	for _, w := range words {
+		ids = append(ids, d.netIDs(w))
+	}
+	mods := modid.Discover(d.nl, ids)
+	out := make([]Operator, 0, len(mods))
+	for _, m := range mods {
+		op := Operator{
+			Kind:   m.Kind.String(),
+			Output: d.netNames(m.Output),
+			HDL:    m.Describe(d.nl),
+		}
+		if m.Kind == modid.Bitwise {
+			op.Op = m.Op.String()
+		}
+		if m.Select != netlist.NoNet {
+			op.Select = d.nl.NetName(m.Select)
+		}
+		for _, in := range m.Inputs {
+			op.Inputs = append(op.Inputs, d.netNames(in))
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// netIDs resolves names, skipping unknowns.
+func (d *Design) netIDs(names []string) []netlist.NetID {
+	ids := make([]netlist.NetID, 0, len(names))
+	for _, n := range names {
+		if id, ok := d.nl.NetByName(n); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// WriteWordGraphDOT renders the recovered word-level dataflow of the given
+// words as a Graphviz digraph: nodes are maximal words (input buses, state
+// words, internal words) and edges are the operators and register transfers
+// connecting them — a one-look design overview reconstructed from the sea
+// of gates.
+func WriteWordGraphDOT(w io.Writer, d *Design, words [][]string) error {
+	ids := make([][]netlist.NetID, 0, len(words))
+	for _, word := range words {
+		ids = append(ids, d.netIDs(word))
+	}
+	g := wordgraph.Build(d.nl, ids)
+	return g.WriteDOT(w, d.Name())
+}

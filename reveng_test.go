@@ -1,0 +1,103 @@
+package gatewords
+
+import (
+	"strings"
+	"testing"
+)
+
+const datapathModule = `
+module dp (a, b, s, \r_reg[0] , \r_reg[1] , \r_reg[2] );
+  input [2:0] a;
+  input [2:0] b;
+  input s;
+  output \r_reg[0] , \r_reg[1] , \r_reg[2] ;
+  wire x0, x1, x2, d0, d1, d2;
+  XOR2 ux0 (x0, a[0], b[0]);
+  XOR2 ux1 (x1, a[1], b[1]);
+  XOR2 ux2 (x2, a[2], b[2]);
+  MUX2 ud0 (d0, s, \r_reg[0] , x0);
+  MUX2 ud1 (d1, s, \r_reg[1] , x1);
+  MUX2 ud2 (d2, s, \r_reg[2] , x2);
+  DFF ff0 (\r_reg[0] , d0);
+  DFF ff1 (\r_reg[1] , d1);
+  DFF ff2 (\r_reg[2] , d2);
+endmodule
+`
+
+func TestPropagateFacade(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := Propagate(d, rep, PropagateOptions{})
+	var haveSeed, haveBus bool
+	for _, w := range words {
+		if w.Direction == "seed" {
+			haveSeed = true
+		}
+		if w.Direction == "backward" && strings.HasPrefix(w.Bits[0], "a[") && len(w.Bits) == 3 {
+			haveBus = true
+		}
+	}
+	if !haveSeed {
+		t.Error("no seed words in propagation output")
+	}
+	if !haveBus {
+		t.Errorf("input bus a not recovered: %+v", words)
+	}
+}
+
+func TestDiscoverOperatorsFacade(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := DiscoverOperators(d, [][]string{
+		{"x0", "x1", "x2"},
+		{"d0", "d1", "d2"},
+	})
+	if len(ops) != 2 {
+		t.Fatalf("operators: %+v", ops)
+	}
+	if ops[0].Kind != "bitwise" || ops[0].Op != "XOR" {
+		t.Errorf("xor column: %+v", ops[0])
+	}
+	if ops[1].Kind != "mux" || ops[1].Select != "s" {
+		t.Errorf("mux column: %+v", ops[1])
+	}
+	if !strings.Contains(ops[1].HDL, "s ?") {
+		t.Errorf("HDL: %q", ops[1].HDL)
+	}
+	if got := ops[1].Inputs[1]; got[0] != "x0" {
+		t.Errorf("mux sel=1 operand: %v", got)
+	}
+}
+
+// TestFullReversePipeline chains identify -> propagate -> operators on the
+// same design, the examples/reconstruct flow.
+func TestFullReversePipeline(t *testing.T) {
+	d, err := ParseVerilogString("dp.v", datapathModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Identify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words [][]string
+	for _, w := range Propagate(d, rep, PropagateOptions{}) {
+		words = append(words, w.Bits)
+	}
+	ops := DiscoverOperators(d, words)
+	kinds := map[string]bool{}
+	for _, op := range ops {
+		kinds[op.Kind] = true
+	}
+	if !kinds["mux"] || !kinds["bitwise"] {
+		t.Errorf("pipeline recovered kinds %v, want mux and bitwise", kinds)
+	}
+}

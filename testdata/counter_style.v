@@ -1,0 +1,71 @@
+// Hand-written Synopsys-flavored netlist: a 4-bit loadable register with a
+// synchronous three-way select (the Figure-1 phenomenon) plus a 3-bit
+// uniform register, using drive-strength cell names and _N_ flattened
+// register naming. Used by the repository's golden-file integration test.
+module counter_style ( d0, d1, d2, d3, e0, e1, e2, e3, f0, f1, f2, f3,
+                       p1, p2, p3, p4, t1, t2, m1,
+                       g0, g1, g2, h0, h1, h2 );
+  input d0, d1, d2, d3;
+  input e0, e1, e2, e3;
+  input f0, f1, f2, f3;
+  input p1, p2, p3, p4, t1, t2, m1;
+  input g0, g1, g2, h0, h1, h2;
+  wire sel1, sel2, dec, k1;
+  wire x0, x1, x2, x3;
+  wire y0, y1, y2, y3;
+  wire z0, z1, z2, z3, zi2, zi3;
+  wire n10, n11, n12, n13;
+  wire u0, u1, u2;
+  wire n20, n21, n22;
+  wire load_reg_0_, load_reg_1_, load_reg_2_, load_reg_3_;
+  wire sum_reg_0_, sum_reg_1_, sum_reg_2_;
+
+  // Shared selector decode (similar subtrees).
+  NAND2X1 U1 (.Y(sel1), .A(t1), .B(t2));
+  NAND2X1 U2 (.Y(sel2), .A(t1), .B(m1));
+
+  // Control decode feeding only the dissimilar subtrees: k1 is the
+  // relevant control signal, dec its dominated upstream net.
+  NAND2X2 U3 (.Y(dec), .A(p1), .B(p2));
+  NAND2X1 U4 (.Y(k1), .A(dec), .B(p3));
+
+  // Similar subtrees.
+  NAND2X1 U10 (.Y(x0), .A(d0), .B(sel1));
+  NAND2X1 U11 (.Y(x1), .A(d1), .B(sel1));
+  NAND2X1 U12 (.Y(x2), .A(d2), .B(sel1));
+  NAND2X1 U13 (.Y(x3), .A(d3), .B(sel1));
+  NAND2X1 U14 (.Y(y0), .A(e0), .B(sel2));
+  NAND2X1 U15 (.Y(y1), .A(e1), .B(sel2));
+  NAND2X1 U16 (.Y(y2), .A(e2), .B(sel2));
+  NAND2X1 U17 (.Y(y3), .A(e3), .B(sel2));
+
+  // Dissimilar subtrees, all killable by k1 = 0.
+  NAND2X1 U20 (.Y(z0), .A(f0), .B(k1));
+  NAND2X1 U21 (.Y(z1), .A(f1), .B(k1));
+  NAND2X1 U22 (.Y(zi2), .A(f2), .B(p4));
+  NAND2X1 U23 (.Y(z2), .A(zi2), .B(k1));
+  NAND3X1 U24 (.Y(zi3), .A(f3), .B(p4), .C(m1));
+  NAND2X1 U25 (.Y(z3), .A(zi3), .B(k1));
+
+  // Word roots on adjacent lines.
+  NAND3X1 U30 (.Y(n10), .A(x0), .B(y0), .C(z0));
+  NAND3X1 U31 (.Y(n11), .A(x1), .B(y1), .C(z1));
+  NAND3X1 U32 (.Y(n12), .A(x2), .B(y2), .C(z2));
+  NAND3X1 U33 (.Y(n13), .A(x3), .B(y3), .C(z3));
+
+  DFF U40 (.Q(load_reg_0_), .D(n10), .CK(p1));
+  DFF U41 (.Q(load_reg_1_), .D(n11), .CK(p1));
+  DFF U42 (.Q(load_reg_2_), .D(n12), .CK(p1));
+  DFF U43 (.Q(load_reg_3_), .D(n13), .CK(p1));
+
+  // Uniform word (both techniques find it).
+  NOR2X1 U50 (.Y(u0), .A(g0), .B(sel1));
+  NOR2X1 U51 (.Y(u1), .A(g1), .B(sel1));
+  NOR2X1 U52 (.Y(u2), .A(g2), .B(sel1));
+  NOR2X1 U60 (.Y(n20), .A(u0), .B(h0));
+  NOR2X1 U61 (.Y(n21), .A(u1), .B(h1));
+  NOR2X1 U62 (.Y(n22), .A(u2), .B(h2));
+  DFF U70 (.Q(sum_reg_0_), .D(n20), .CK(p1));
+  DFF U71 (.Q(sum_reg_1_), .D(n21), .CK(p1));
+  DFF U72 (.Q(sum_reg_2_), .D(n22), .CK(p1));
+endmodule
