@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check bench race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the data-race-sensitive pipeline tests (parallel group workers)
+# under the race detector.
+race:
+	$(GO) test -race ./internal/core/...
+
+# check is the full pre-commit gate: vet, formatting, tests, race pass.
+check:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$

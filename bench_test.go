@@ -180,23 +180,30 @@ func BenchmarkParseVerilog(b *testing.B) {
 }
 
 // BenchmarkConeHashing measures hash-key construction over every candidate
-// net of b15.
+// net of the two largest profiles. Allocation counts here track the key
+// engine directly: hash-consed tuple interning vs. the former per-node
+// string building.
 func BenchmarkConeHashing(b *testing.B) {
-	gen := generatedBench(b, "b15a")
-	nl := gen.NL
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		it := coneInterner()
-		builder := coneBuilder(nl, it)
-		n := 0
-		for id := 0; id < nl.NetCount(); id++ {
-			if bc := builder.Bit(netlist.NetID(id)); bc != nil {
-				n++
+	for _, name := range []string{"b14a", "b15a"} {
+		b.Run(name, func(b *testing.B) {
+			gen := generatedBench(b, name)
+			nl := gen.NL
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := coneInterner()
+				builder := coneBuilder(nl, it)
+				n := 0
+				for id := 0; id < nl.NetCount(); id++ {
+					if bc := builder.Bit(netlist.NetID(id)); bc != nil {
+						n++
+					}
+				}
+				if n == 0 {
+					b.Fatal("no cones")
+				}
 			}
-		}
-		if n == 0 {
-			b.Fatal("no cones")
-		}
+		})
 	}
 }
 

@@ -1,9 +1,13 @@
 // Package cone implements depth-limited fanin-cone analysis: extraction of a
 // candidate bit's cone, decomposition into second-level subtrees, post-order
-// structural hash keys ("Polish expressions" over gate kinds with
-// lexicographically sorted fanins, DAC'15 §2.3), and the O(k_i+k_j)
-// two-pointer comparison of sorted hash-key lists that classifies subtree
-// pairs as similar or dissimilar.
+// structural hash keys over gate kinds with order-insensitive fanins
+// (DAC'15 §2.3), and the O(k_i+k_j) two-pointer comparison of sorted
+// hash-key lists that classifies subtree pairs as similar or dissimilar.
+//
+// Keys are hash-consed: each key is an interned (gate kind, sorted child-key
+// tuple) record, so computing a node's key is O(fanin) and comparing keys is
+// an integer compare. The Polish-expression string form of a key exists only
+// as a lazy debug rendering (Interner.String).
 //
 // Everything here is written against netlist.View, so the same machinery
 // analyzes both the original circuit and a constant-propagated reduced
@@ -11,58 +15,12 @@
 package cone
 
 import (
-	"sort"
-	"strings"
-
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
 )
 
-// KeyID is an interned structural hash key. Two subtrees are structurally
-// similar exactly when their KeyIDs are equal (for keys produced by the same
-// Interner).
-type KeyID int32
-
-// NoKey is the zero KeyID's invalid sentinel.
-const NoKey KeyID = -1
-
-// Interner maps structural key strings to dense IDs and back. A single
-// Interner must be shared by every Builder participating in one analysis so
-// that KeyIDs are comparable across original and reduced circuits.
-type Interner struct {
-	ids  map[string]KeyID
-	strs []string
-}
-
-// NewInterner returns an empty interner.
-func NewInterner() *Interner {
-	return &Interner{ids: make(map[string]KeyID)}
-}
-
-// Intern returns the ID for s, allocating one if needed.
-func (it *Interner) Intern(s string) KeyID {
-	if id, ok := it.ids[s]; ok {
-		return id
-	}
-	id := KeyID(len(it.strs))
-	it.strs = append(it.strs, s)
-	it.ids[s] = id
-	return id
-}
-
-// String returns the key string for id.
-func (it *Interner) String(id KeyID) string {
-	if id < 0 || int(id) >= len(it.strs) {
-		return "<nokey>"
-	}
-	return it.strs[id]
-}
-
-// Len returns the number of distinct keys interned so far.
-func (it *Interner) Len() int { return len(it.strs) }
-
-// kindToken returns the single-character token recorded for each node of a
-// post-order traversal. Only the gate type is recorded, per the paper.
+// kindToken returns the single-character token used when rendering a key as
+// a Polish expression. Only the gate type is recorded, per the paper.
 func kindToken(k logic.Kind) byte {
 	switch k {
 	case logic.And:
@@ -93,9 +51,9 @@ func kindToken(k logic.Kind) byte {
 	return '?'
 }
 
-// leafToken marks a cone leaf: a primary input, a flip-flop boundary, a
-// constant, or the depth cut. Leaves record no identity, only that the
-// branch ends, keeping the match purely structural.
+// leafToken marks a cone leaf in the rendered key: a primary input, a
+// flip-flop boundary, a constant, or the depth cut. Leaves record no
+// identity, only that the branch ends, keeping the match purely structural.
 const leafToken = "."
 
 // Subtree is one second-level subtree of a bit's fanin cone: the subtree
@@ -123,11 +81,23 @@ type Builder struct {
 	depth  int
 	memo   map[memoKey]KeyID
 	inbuf  []netlist.NetID
+	idbuf  []KeyID
+	frames []keyFrame
 }
 
+// memoKey identifies one (net, remaining depth) subtree. Depth is stored
+// full-width: a narrow field would silently alias memo entries across
+// depths for deep cones (the old int8 field wrapped above 127).
 type memoKey struct {
 	net   netlist.NetID
-	depth int8
+	depth int32
+}
+
+// keyFrame is per-recursion-level scratch for key computation, so walking a
+// cone allocates nothing once the builder is warm.
+type keyFrame struct {
+	nets []netlist.NetID
+	ids  []KeyID
 }
 
 // DefaultDepth is the fanin-cone depth used throughout the paper: similarity
@@ -135,12 +105,21 @@ type memoKey struct {
 // the default analysis window.
 const DefaultDepth = 4
 
+// MaxDepth caps the cone depth. Depths anywhere near it are useless for
+// similarity matching (the paper argues 2–4 levels); the cap bounds
+// recursion and scratch sizing. NewBuilder clamps to it.
+const MaxDepth = 4096
+
 // NewBuilder returns a Builder over view with the given cone depth (total
-// levels of logic including the root gate). Builders sharing an analysis
-// must share the Interner.
+// levels of logic including the root gate). Out-of-range depths are
+// clamped: depth < 1 selects DefaultDepth, depth > MaxDepth selects
+// MaxDepth. Builders sharing an analysis must share the Interner.
 func NewBuilder(view netlist.View, intern *Interner, depth int) *Builder {
 	if depth < 1 {
 		depth = DefaultDepth
+	}
+	if depth > MaxDepth {
+		depth = MaxDepth
 	}
 	return &Builder{view: view, intern: intern, depth: depth, memo: make(map[memoKey]KeyID)}
 }
@@ -172,72 +151,62 @@ func (b *Builder) Bit(net netlist.NetID) *BitCone {
 	for _, in := range b.inbuf {
 		bc.Subtrees = append(bc.Subtrees, Subtree{Root: in, Key: b.SubtreeKey(in, b.depth-1)})
 	}
-	sort.Slice(bc.Subtrees, func(i, j int) bool {
-		return b.less(bc.Subtrees[i].Key, bc.Subtrees[j].Key)
-	})
-	// The full-cone key is the root kind over its sorted child keys; since
-	// Subtrees is already sorted in string order this is a direct rebuild.
-	var sb strings.Builder
-	sb.WriteByte('(')
+	sortSubtrees(bc.Subtrees)
+	b.idbuf = b.idbuf[:0]
 	for _, st := range bc.Subtrees {
-		sb.WriteString(b.intern.String(st.Key))
+		b.idbuf = append(b.idbuf, st.Key)
 	}
-	sb.WriteByte(kindToken(kind))
-	sb.WriteByte(')')
-	bc.FullKey = b.intern.Intern(sb.String())
+	// The full-cone key is the root kind over its sorted child keys.
+	bc.FullKey = b.intern.InternNode(kind, b.idbuf)
 	return bc
+}
+
+// sortSubtrees orders a (small) subtree list by key. Insertion sort avoids
+// the sort.Slice closure allocation on the per-bit hot path.
+func sortSubtrees(sts []Subtree) {
+	for i := 1; i < len(sts); i++ {
+		for j := i; j > 0 && sts[j].Key < sts[j-1].Key; j-- {
+			sts[j], sts[j-1] = sts[j-1], sts[j]
+		}
+	}
 }
 
 // SubtreeKey returns the interned post-order key for the subtree rooted at
 // net, expanded for depth more levels of logic. Depth 0, primary inputs,
-// flip-flop boundaries and constants all yield the leaf key.
+// flip-flop boundaries and constants all yield LeafKey.
 func (b *Builder) SubtreeKey(net netlist.NetID, depth int) KeyID {
-	mk := memoKey{net: net, depth: int8(depth)}
+	return b.subtreeKey(net, depth, 0)
+}
+
+func (b *Builder) subtreeKey(net netlist.NetID, depth, level int) KeyID {
+	if depth <= 0 {
+		return LeafKey
+	}
+	mk := memoKey{net: net, depth: int32(depth)}
 	if id, ok := b.memo[mk]; ok {
 		return id
 	}
-	id := b.intern.Intern(b.keyString(net, depth))
+	id := LeafKey
+	if _, isConst := b.view.NetConst(net); !isConst {
+		if g := b.view.DriverOf(net); g != netlist.NoGate {
+			if kind := b.view.GateKind(g); kind.IsCombinational() {
+				for len(b.frames) <= level {
+					b.frames = append(b.frames, keyFrame{})
+				}
+				// Index b.frames each access (never hold a pointer):
+				// deeper recursion may grow the slice.
+				b.frames[level].nets = b.view.GateInputs(g, b.frames[level].nets[:0])
+				b.frames[level].ids = b.frames[level].ids[:0]
+				for i := 0; i < len(b.frames[level].nets); i++ {
+					k := b.subtreeKey(b.frames[level].nets[i], depth-1, level+1)
+					b.frames[level].ids = append(b.frames[level].ids, k)
+				}
+				id = b.intern.InternNode(kind, b.frames[level].ids)
+			}
+		}
+	}
 	b.memo[mk] = id
 	return id
-}
-
-func (b *Builder) keyString(net netlist.NetID, depth int) string {
-	if depth <= 0 {
-		return leafToken
-	}
-	if _, isConst := b.view.NetConst(net); isConst {
-		return leafToken
-	}
-	g := b.view.DriverOf(net)
-	if g == netlist.NoGate {
-		return leafToken
-	}
-	kind := b.view.GateKind(g)
-	if !kind.IsCombinational() {
-		return leafToken // sequential boundary
-	}
-	ins := b.view.GateInputs(g, nil)
-	childStrs := make([]string, len(ins))
-	for i, in := range ins {
-		childStrs[i] = b.intern.String(b.SubtreeKey(in, depth-1))
-	}
-	// Multiple fanins of a gate are sorted lexicographically (§2.3), making
-	// the key invariant under input pin permutation.
-	sort.Strings(childStrs)
-	var sb strings.Builder
-	sb.WriteByte('(')
-	for _, cs := range childStrs {
-		sb.WriteString(cs)
-	}
-	sb.WriteByte(kindToken(kind))
-	sb.WriteByte(')')
-	return sb.String()
-}
-
-// less orders KeyIDs by their underlying key strings, giving every Builder
-// that shares an Interner the same total order.
-func (b *Builder) less(x, y KeyID) bool {
-	return b.intern.String(x) < b.intern.String(y)
 }
 
 // SubtreeNets returns the set of nets contained in the subtree rooted at
@@ -247,6 +216,13 @@ func (b *Builder) SubtreeNets(net netlist.NetID, depth int) map[netlist.NetID]bo
 	out := make(map[netlist.NetID]bool)
 	b.collectNets(net, depth, out)
 	return out
+}
+
+// CollectSubtreeNets adds the subtree's nets (as SubtreeNets defines them)
+// to out, letting callers accumulate the union over many roots — e.g. the
+// fanin-closed scope of a whole subgroup — without a map per call.
+func (b *Builder) CollectSubtreeNets(net netlist.NetID, depth int, out map[netlist.NetID]bool) {
+	b.collectNets(net, depth, out)
 }
 
 func (b *Builder) collectNets(net netlist.NetID, depth int, out map[netlist.NetID]bool) {

@@ -47,8 +47,77 @@ func TestInterner(t *testing.T) {
 	if it.String(KeyID(99)) != "<nokey>" {
 		t.Error("out-of-range KeyID")
 	}
-	if it.Len() != 2 {
+	if it.Len() != 3 { // leaf + two atoms
 		t.Errorf("Len = %d", it.Len())
+	}
+	if it.Intern(leafToken) != LeafKey {
+		t.Error("interning the leaf token must yield LeafKey")
+	}
+	if it.String(LeafKey) != leafToken {
+		t.Errorf("leaf renders %q", it.String(LeafKey))
+	}
+}
+
+func TestInternNodeHashConsing(t *testing.T) {
+	it := NewInterner()
+	n1 := it.InternNode(logic.Nand, []KeyID{LeafKey, LeafKey})
+	n2 := it.InternNode(logic.Nand, []KeyID{LeafKey, LeafKey})
+	if n1 != n2 {
+		t.Error("identical tuples must hash-cons to one ID")
+	}
+	if it.InternNode(logic.Nor, []KeyID{LeafKey, LeafKey}) == n1 {
+		t.Error("different kinds share an ID")
+	}
+	if it.InternNode(logic.Nand, []KeyID{LeafKey}) == n1 {
+		t.Error("different arities share an ID")
+	}
+	// Tuple identity is order-insensitive (children are sorted).
+	x := it.InternNode(logic.Not, []KeyID{LeafKey})
+	ab := it.InternNode(logic.Nand, []KeyID{x, n1})
+	ba := it.InternNode(logic.Nand, []KeyID{n1, x})
+	if ab != ba {
+		t.Error("child order changed the interned ID")
+	}
+	if got := it.String(n1); got != "(..N)" {
+		t.Errorf("render = %q, want (..N)", got)
+	}
+	if got := it.String(ab); got != "((..N)(.I)N)" {
+		t.Errorf("render = %q, want ((..N)(.I)N)", got)
+	}
+}
+
+// TestMemoDepthNotTruncated: the memo key stores the full depth. The old
+// int8 field wrapped above 127, aliasing (net, d) with (net, d-256) and
+// returning the shallow key for the deep expansion.
+func TestMemoDepthNotTruncated(t *testing.T) {
+	nl := netlist.New("t")
+	prev := nl.MustNet("pi")
+	nl.MarkPI(prev)
+	var last netlist.NetID
+	for i := 0; i < 300; i++ {
+		last = nl.MustNet("n" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		nl.MustGate("g"+string(rune('a'+i%26))+string(rune('0'+i/26)), logic.Not, last, prev)
+		prev = last
+	}
+	it := NewInterner()
+	b := NewBuilder(nl, it, 300)
+	shallow := b.SubtreeKey(last, 2)
+	deep := b.SubtreeKey(last, 258) // int8(258) == 2: the old memo aliased these
+	if shallow == deep {
+		t.Fatal("depth-258 key aliased with depth-2 key")
+	}
+	if again := b.SubtreeKey(last, 258); again != deep {
+		t.Error("memoized deep key unstable")
+	}
+}
+
+func TestNewBuilderDepthClamp(t *testing.T) {
+	nl, _ := chainNet(t)
+	if d := NewBuilder(nl, NewInterner(), -3).Depth(); d != DefaultDepth {
+		t.Errorf("negative depth -> %d, want DefaultDepth", d)
+	}
+	if d := NewBuilder(nl, NewInterner(), MaxDepth+1).Depth(); d != MaxDepth {
+		t.Errorf("huge depth -> %d, want MaxDepth", d)
 	}
 }
 

@@ -19,8 +19,9 @@ func (m MatchResult) Partial() bool { return m.Matched > 0 && !m.Full() }
 // the two-pointer walk of §2.3: when the keys under the pointers are equal
 // the subtrees are similar and both pointers advance; otherwise the pointer
 // at the smaller key advances and that subtree is recorded as dissimilar.
-// Both bits must come from Builders sharing it's Interner.
-func Match(it *Interner, a, b *BitCone) MatchResult {
+// Keys are interned, so "smaller" is the interner's numeric key order; both
+// bits must come from builders sharing one Interner.
+func Match(a, b *BitCone) MatchResult {
 	var res MatchResult
 	i, j := 0, 0
 	for i < len(a.Subtrees) && j < len(b.Subtrees) {
@@ -31,7 +32,7 @@ func Match(it *Interner, a, b *BitCone) MatchResult {
 			j++
 			continue
 		}
-		if it.String(ka) < it.String(kb) {
+		if ka < kb {
 			res.DissimA = append(res.DissimA, i)
 			i++
 		} else {
@@ -57,18 +58,18 @@ func FullMatch(a, b *BitCone) bool {
 
 // PartialMatch reports whether two bits share the root gate kind and at
 // least one similar subtree (the grouping criterion of §2.3).
-func PartialMatch(it *Interner, a, b *BitCone) bool {
+func PartialMatch(a, b *BitCone) bool {
 	if a.RootKind != b.RootKind {
 		return false
 	}
-	return Match(it, a, b).Matched > 0
+	return Match(a, b).Matched > 0
 }
 
 // CommonKeys returns the multiset intersection of the subtree key lists of
-// all bits, sorted in the interner's string order. This is the "similar
+// all bits, sorted in the interner's key order. This is the "similar
 // portion" shared by every bit of a subgroup; a bit's subtrees outside it
 // are its dissimilar subtrees.
-func CommonKeys(it *Interner, bits []*BitCone) []KeyID {
+func CommonKeys(bits []*BitCone) []KeyID {
 	if len(bits) == 0 {
 		return nil
 	}
@@ -77,7 +78,7 @@ func CommonKeys(it *Interner, bits []*BitCone) []KeyID {
 		common[i] = st.Key
 	}
 	for _, b := range bits[1:] {
-		common = intersectSorted(it, common, b)
+		common = intersectSorted(common, b)
 		if len(common) == 0 {
 			break
 		}
@@ -85,7 +86,7 @@ func CommonKeys(it *Interner, bits []*BitCone) []KeyID {
 	return common
 }
 
-func intersectSorted(it *Interner, common []KeyID, b *BitCone) []KeyID {
+func intersectSorted(common []KeyID, b *BitCone) []KeyID {
 	out := common[:0]
 	i, j := 0, 0
 	for i < len(common) && j < len(b.Subtrees) {
@@ -96,7 +97,7 @@ func intersectSorted(it *Interner, common []KeyID, b *BitCone) []KeyID {
 			j++
 			continue
 		}
-		if it.String(ka) < it.String(kb) {
+		if ka < kb {
 			i++
 		} else {
 			j++
@@ -106,13 +107,13 @@ func intersectSorted(it *Interner, common []KeyID, b *BitCone) []KeyID {
 }
 
 // Dissimilar returns the subtrees of bit whose keys are not covered by the
-// common multiset (which must be sorted in interner string order, as
+// common multiset (which must be sorted in the interner's key order, as
 // produced by CommonKeys).
-func Dissimilar(it *Interner, bit *BitCone, common []KeyID) []Subtree {
+func Dissimilar(bit *BitCone, common []KeyID) []Subtree {
 	var out []Subtree
 	j := 0
 	for _, st := range bit.Subtrees {
-		for j < len(common) && it.String(common[j]) < it.String(st.Key) {
+		for j < len(common) && common[j] < st.Key {
 			j++
 		}
 		if j < len(common) && common[j] == st.Key {
@@ -127,10 +128,10 @@ func Dissimilar(it *Interner, bit *BitCone, common []KeyID) []Subtree {
 // SimilarFraction returns the fraction of bit's subtrees covered by the
 // common multiset: 1.0 for a fully similar bit, 0.0 when nothing matches.
 // Bits with no subtrees report 0.
-func SimilarFraction(it *Interner, bit *BitCone, common []KeyID) float64 {
+func SimilarFraction(bit *BitCone, common []KeyID) float64 {
 	if len(bit.Subtrees) == 0 {
 		return 0
 	}
-	dis := len(Dissimilar(it, bit, common))
+	dis := len(Dissimilar(bit, common))
 	return float64(len(bit.Subtrees)-dis) / float64(len(bit.Subtrees))
 }

@@ -9,24 +9,25 @@ import (
 	"gatewords/internal/netlist"
 )
 
-// makeBits fabricates BitCones with the given subtree key strings (bypassing
-// netlist construction) so matching logic can be tested in isolation.
+// makeBits fabricates BitCones with the given subtree key strings (interned
+// as atoms, bypassing netlist construction) so matching logic can be tested
+// in isolation. Subtrees are sorted in the interner's key order, as
+// Builder.Bit produces them, and the full key is the hash-consed tuple of
+// the sorted subtree keys — so equal key multisets yield equal FullKeys.
 func makeBits(it *Interner, kind logic.Kind, keyLists ...[]string) []*BitCone {
 	var out []*BitCone
 	for i, keys := range keyLists {
 		bc := &BitCone{Net: netlist.NetID(i), RootKind: kind}
+		ids := make([]KeyID, 0, len(keys))
 		for _, k := range keys {
-			bc.Subtrees = append(bc.Subtrees, Subtree{Root: netlist.NoNet, Key: it.Intern(k)})
+			id := it.Intern(k)
+			bc.Subtrees = append(bc.Subtrees, Subtree{Root: netlist.NoNet, Key: id})
+			ids = append(ids, id)
 		}
 		sort.Slice(bc.Subtrees, func(a, b int) bool {
-			return it.String(bc.Subtrees[a].Key) < it.String(bc.Subtrees[b].Key)
+			return bc.Subtrees[a].Key < bc.Subtrees[b].Key
 		})
-		full := "("
-		for _, st := range bc.Subtrees {
-			full += it.String(st.Key)
-		}
-		full += ")"
-		bc.FullKey = it.Intern(full)
+		bc.FullKey = it.InternNode(kind, ids)
 		out = append(out, bc)
 	}
 	return out
@@ -35,7 +36,7 @@ func makeBits(it *Interner, kind logic.Kind, keyLists ...[]string) []*BitCone {
 func TestMatchFull(t *testing.T) {
 	it := NewInterner()
 	bits := makeBits(it, logic.Nand, []string{"x", "y"}, []string{"y", "x"})
-	m := Match(it, bits[0], bits[1])
+	m := Match(bits[0], bits[1])
 	if !m.Full() || m.Matched != 2 || m.Partial() {
 		t.Errorf("full match misclassified: %+v", m)
 	}
@@ -47,7 +48,7 @@ func TestMatchFull(t *testing.T) {
 func TestMatchPartial(t *testing.T) {
 	it := NewInterner()
 	bits := makeBits(it, logic.Nand, []string{"x", "y", "z1"}, []string{"x", "y", "z2"})
-	m := Match(it, bits[0], bits[1])
+	m := Match(bits[0], bits[1])
 	if !m.Partial() || m.Matched != 2 {
 		t.Errorf("partial match misclassified: %+v", m)
 	}
@@ -57,7 +58,7 @@ func TestMatchPartial(t *testing.T) {
 	if got := it.String(bits[0].Subtrees[m.DissimA[0]].Key); got != "z1" {
 		t.Errorf("dissimilar A = %q", got)
 	}
-	if !PartialMatch(it, bits[0], bits[1]) {
+	if !PartialMatch(bits[0], bits[1]) {
 		t.Error("PartialMatch false")
 	}
 }
@@ -65,11 +66,11 @@ func TestMatchPartial(t *testing.T) {
 func TestMatchDisjoint(t *testing.T) {
 	it := NewInterner()
 	bits := makeBits(it, logic.Nand, []string{"a", "b"}, []string{"c", "d"})
-	m := Match(it, bits[0], bits[1])
+	m := Match(bits[0], bits[1])
 	if m.Matched != 0 || m.Full() || m.Partial() {
 		t.Errorf("disjoint match misclassified: %+v", m)
 	}
-	if PartialMatch(it, bits[0], bits[1]) {
+	if PartialMatch(bits[0], bits[1]) {
 		t.Error("PartialMatch true on disjoint subtrees")
 	}
 }
@@ -79,7 +80,7 @@ func TestMatchMultiset(t *testing.T) {
 	// shares one x and one y.
 	it := NewInterner()
 	bits := makeBits(it, logic.Nand, []string{"x", "x", "y"}, []string{"x", "y", "y"})
-	m := Match(it, bits[0], bits[1])
+	m := Match(bits[0], bits[1])
 	if m.Matched != 2 || len(m.DissimA) != 1 || len(m.DissimB) != 1 {
 		t.Errorf("multiset match: %+v", m)
 	}
@@ -92,7 +93,7 @@ func TestMatchRootKindGate(t *testing.T) {
 	if FullMatch(a, b) {
 		t.Error("FullMatch across root kinds")
 	}
-	if PartialMatch(it, a, b) {
+	if PartialMatch(a, b) {
 		t.Error("PartialMatch across root kinds")
 	}
 }
@@ -137,7 +138,7 @@ func TestCommonKeysAgainstNaive(t *testing.T) {
 			lists = append(lists, keys)
 		}
 		bits := makeBits(it, logic.Nand, lists...)
-		common := CommonKeys(it, bits)
+		common := CommonKeys(bits)
 		got := map[string]int{}
 		for _, k := range common {
 			got[it.String(k)]++
@@ -153,11 +154,11 @@ func TestCommonKeysAgainstNaive(t *testing.T) {
 		}
 		// Dissimilar + common must partition every bit's subtrees.
 		for _, b := range bits {
-			dis := Dissimilar(it, b, common)
+			dis := Dissimilar(b, common)
 			if len(dis)+len(common) < len(b.Subtrees) {
 				t.Fatalf("trial %d: dissimilar undercount", trial)
 			}
-			frac := SimilarFraction(it, b, common)
+			frac := SimilarFraction(b, common)
 			wantFrac := float64(len(b.Subtrees)-len(dis)) / float64(len(b.Subtrees))
 			if frac != wantFrac {
 				t.Fatalf("trial %d: SimilarFraction %f want %f", trial, frac, wantFrac)
@@ -167,8 +168,7 @@ func TestCommonKeysAgainstNaive(t *testing.T) {
 }
 
 func TestCommonKeysEmptyInput(t *testing.T) {
-	it := NewInterner()
-	if got := CommonKeys(it, nil); got != nil {
+	if got := CommonKeys(nil); got != nil {
 		t.Errorf("CommonKeys(nil) = %v", got)
 	}
 }
@@ -176,12 +176,12 @@ func TestCommonKeysEmptyInput(t *testing.T) {
 func TestSimilarFractionEdge(t *testing.T) {
 	it := NewInterner()
 	bc := &BitCone{RootKind: logic.Nand}
-	if SimilarFraction(it, bc, nil) != 0 {
+	if SimilarFraction(bc, nil) != 0 {
 		t.Error("bit without subtrees must report 0")
 	}
 	bits := makeBits(it, logic.Nand, []string{"x", "y"})
 	common := []KeyID{bits[0].Subtrees[0].Key, bits[0].Subtrees[1].Key}
-	if SimilarFraction(it, bits[0], common) != 1.0 {
+	if SimilarFraction(bits[0], common) != 1.0 {
 		t.Error("fully covered bit must report 1")
 	}
 }

@@ -75,6 +75,12 @@ func (o Options) withDefaults() Options {
 	if o.Depth <= 0 {
 		o.Depth = cone.DefaultDepth
 	}
+	if o.Depth > cone.MaxDepth {
+		// Out-of-range depths are clamped rather than rejected; the key
+		// engine sizes per-level scratch by depth and memoizes per (net,
+		// depth), so an unbounded depth is never meaningful.
+		o.Depth = cone.MaxDepth
+	}
 	if o.MaxAssign <= 0 {
 		o.MaxAssign = 2
 	}
@@ -108,10 +114,17 @@ type Word struct {
 
 // Stats counts pipeline work for reporting and benchmarks.
 type Stats struct {
-	Groups            int // first-level adjacency groups
-	Subgroups         int // partially/fully matched subgroups
-	CandidateBits     int // bits with analyzable cones
-	Reductions        int // assignment trials propagated
+	Groups        int // first-level adjacency groups
+	Subgroups     int // partially/fully matched subgroups
+	CandidateBits int // bits with analyzable cones
+	// Trials counts assignment trials attempted, i.e. reduce.Apply
+	// invocations: every trial the enumeration budget admitted, feasible or
+	// not.
+	Trials int
+	// Reductions counts the trials whose propagation succeeded (no
+	// contradiction), i.e. the trials that actually produced a reduced
+	// circuit to re-match on. Trials - Reductions is the infeasible count.
+	Reductions        int
 	ReducedWords      int // words verified through reduction
 	PartialGroupWords int // words emitted by the Theta rule
 }
@@ -211,6 +224,7 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 		merged.Trace = append(merged.Trace, r.Trace...)
 		merged.Stats.Subgroups += r.Stats.Subgroups
 		merged.Stats.CandidateBits += r.Stats.CandidateBits
+		merged.Stats.Trials += r.Stats.Trials
 		merged.Stats.Reductions += r.Stats.Reductions
 		merged.Stats.ReducedWords += r.Stats.ReducedWords
 		merged.Stats.PartialGroupWords += r.Stats.PartialGroupWords
@@ -231,6 +245,7 @@ type pipeline struct {
 	opt    Options
 	it     *cone.Interner
 	b      *cone.Builder
+	ov     *cone.Overlay // lazily created, reused across assignment trials
 	used   map[netlist.NetID]bool
 	found  map[netlist.NetID]bool
 	result *Result
@@ -262,7 +277,7 @@ func (p *pipeline) processGroup(nets []netlist.NetID) {
 			continue
 		}
 		p.result.Stats.CandidateBits++
-		if prev != nil && !cone.FullMatch(prev, bc) && !cone.PartialMatch(p.it, prev, bc) {
+		if prev != nil && !cone.FullMatch(prev, bc) && !cone.PartialMatch(prev, bc) {
 			flush()
 		}
 		bits = append(bits, bc)
@@ -278,11 +293,11 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		p.emit(Word{Bits: []netlist.NetID{bits[0].Net}, Verified: true})
 		return
 	}
-	common := cone.CommonKeys(p.it, bits)
+	common := cone.CommonKeys(bits)
 	dissim := make([][]cone.Subtree, len(bits))
 	totalDissim := 0
 	for i, bc := range bits {
-		dissim[i] = cone.Dissimilar(p.it, bc, common)
+		dissim[i] = cone.Dissimilar(bc, common)
 		totalDissim += len(dissim[i])
 	}
 	if totalDissim == 0 {
@@ -304,6 +319,11 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 	bestSize := maxClassSize(baseClasses)
 	var bestTrial *trialResult
 
+	// Fanin-closed scope of the subgroup's cones, computed once: per trial,
+	// the dirty walk and re-keying stay inside it no matter how far the
+	// reduction propagated.
+	scope := p.subgroupScope(bits)
+
 	trials := 0
 	stop := false
 	p.forEachAssignment(signals, func(assign map[netlist.NetID]logic.Value) bool {
@@ -311,8 +331,8 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 			return false
 		}
 		trials++
-		p.result.Stats.Reductions++
-		tr := p.tryAssignment(bits, assign)
+		p.result.Stats.Trials++
+		tr := p.tryAssignment(bits, scope, assign)
 		if tr == nil {
 			p.tracef("subgroup %s: trial %s infeasible", p.nl.NetName(bits[0].Net), p.formatAssign(assign))
 			return true
@@ -369,7 +389,10 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		p.result.Stats.ReducedWords++
 	}
 	for _, cls := range classes {
-		w := Word{Bits: cls, Verified: len(cls) >= 1}
+		// Only multi-bit classes carry verification evidence: their cones
+		// became fully similar (possibly under the best assignment).
+		// Leftover singletons matched nothing and stay unverified.
+		w := Word{Bits: cls, Verified: len(cls) >= 2}
 		if len(cls) >= 2 && ctrls != nil {
 			w.Controls = ctrls
 			w.Assignment = assign
@@ -385,7 +408,7 @@ func (p *pipeline) cohesive(bits []*cone.BitCone, common []cone.KeyID) bool {
 		return false
 	}
 	for _, bc := range bits {
-		if cone.SimilarFraction(p.it, bc, common) < p.opt.Theta {
+		if cone.SimilarFraction(bc, common) < p.opt.Theta {
 			return false
 		}
 	}
@@ -398,19 +421,47 @@ type trialResult struct {
 	maxClass int
 }
 
+// subgroupScope returns the union of the bits' fanin-cone nets: each bit,
+// its subtree roots, and every net within cone depth below them. The set is
+// fanin-closed over the keyed subtrees, which is the soundness condition for
+// reduce.DirtyDistancesIn.
+func (p *pipeline) subgroupScope(bits []*cone.BitCone) map[netlist.NetID]bool {
+	scope := make(map[netlist.NetID]bool)
+	for _, bc := range bits {
+		scope[bc.Net] = true
+		for _, st := range bc.Subtrees {
+			p.b.CollectSubtreeNets(st.Root, p.opt.Depth-1, scope)
+		}
+	}
+	return scope
+}
+
 // tryAssignment propagates one assignment and regroups the subgroup's bits
 // by full similarity on the reduced circuit. It returns nil for infeasible
 // (contradictory) assignments or ones that constant-fold a bit away.
-func (p *pipeline) tryAssignment(bits []*cone.BitCone, assign map[netlist.NetID]logic.Value) *trialResult {
+//
+// Re-matching is incremental: instead of re-deriving every key under a
+// fresh Builder per trial, a cone.Overlay reuses the subgroup builder's
+// memoized keys for all subtrees out of the reduction's reach and re-keys
+// only nets within Depth fanin levels of a changed net. The dirty walk is
+// confined to the subgroup's cone scope, so trial cost is bounded by the
+// subgroup's cones, not by the size of the reduced region.
+func (p *pipeline) tryAssignment(bits []*cone.BitCone, scope map[netlist.NetID]bool, assign map[netlist.NetID]logic.Value) *trialResult {
 	red, err := reduce.Apply(p.nl, assign)
 	if err != nil {
 		p.tracef("reduce conflict: %v", err)
 		return nil
 	}
-	rb := cone.NewBuilder(red, p.it, p.opt.Depth)
+	p.result.Stats.Reductions++
+	dist := red.DirtyDistancesIn(scope, p.opt.Depth-1)
+	if p.ov == nil {
+		p.ov = p.b.Overlay(red, dist)
+	} else {
+		p.ov.Reset(red, dist)
+	}
 	newBits := make([]*cone.BitCone, len(bits))
 	for i, bc := range bits {
-		nb := rb.Bit(bc.Net)
+		nb := p.ov.Bit(bc.Net)
 		if nb == nil {
 			p.tracef("bit %s simplified away (const=%v)", p.nl.NetName(bc.Net), red.Value(bc.Net))
 			return nil

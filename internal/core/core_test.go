@@ -1,8 +1,10 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
+	"gatewords/internal/cone"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
 )
@@ -269,4 +271,153 @@ func TestGeneratedWords(t *testing.T) {
 		t.Fatal("length mismatch")
 	}
 	_ = bits
+}
+
+func TestOptionsDepthClamp(t *testing.T) {
+	if o := (Options{Depth: 1 << 20}).withDefaults(); o.Depth != cone.MaxDepth {
+		t.Errorf("Depth clamp: %d, want %d", o.Depth, cone.MaxDepth)
+	}
+	if o := (Options{Depth: -3}).withDefaults(); o.Depth != cone.DefaultDepth {
+		t.Errorf("Depth default: %d, want %d", o.Depth, cone.DefaultDepth)
+	}
+}
+
+// TestStatsTrialsVsReductions pins the accounting contract: Trials counts
+// every reduce.Apply invocation the enumeration admitted; Reductions counts
+// only the feasible ones. The trace records each, so the counters must agree
+// with the trace line-for-line.
+func TestStatsTrialsVsReductions(t *testing.T) {
+	nl, _, _, _ := wordNet(t, 4, true)
+	res := Identify(nl, Options{CollectTrace: true})
+	trialLines, classLines := 0, 0
+	for _, line := range res.Trace {
+		if strings.Contains(line, ": trial ") {
+			trialLines++
+		}
+		if strings.Contains(line, "-> max class") {
+			classLines++
+		}
+	}
+	if res.Stats.Trials != trialLines {
+		t.Errorf("Stats.Trials = %d, %d trial lines in trace", res.Stats.Trials, trialLines)
+	}
+	if res.Stats.Reductions != classLines {
+		t.Errorf("Stats.Reductions = %d, %d feasible-trial lines in trace", res.Stats.Reductions, classLines)
+	}
+	if res.Stats.Reductions > res.Stats.Trials {
+		t.Errorf("Reductions %d exceeds Trials %d", res.Stats.Reductions, res.Stats.Trials)
+	}
+	if res.Stats.Trials == 0 {
+		t.Error("expected at least one trial on the two-signal circuit")
+	}
+}
+
+// TestTryAssignmentAccounting drives tryAssignment directly: an infeasible
+// assignment must not count as a reduction, a feasible one must.
+func TestTryAssignmentAccounting(t *testing.T) {
+	nl := netlist.New("t")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	k, a, b := pi("k"), pi("a"), pi("b")
+	z := nl.MustNet("z")
+	nl.MustGate("gz", logic.Not, z, k)
+	bit := nl.MustNet("bit")
+	nl.MustGate("gb", logic.Nand, bit, a, b)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := newPipeline(nl, Options{}.withDefaults())
+	bits := []*cone.BitCone{p.b.Bit(bit)}
+	if bits[0] == nil {
+		t.Fatal("no cone for bit")
+	}
+	scope := p.subgroupScope(bits)
+
+	// k=0 forces z=1; also asserting z=0 is a contradiction.
+	if tr := p.tryAssignment(bits, scope, map[netlist.NetID]logic.Value{k: logic.Zero, z: logic.Zero}); tr != nil {
+		t.Fatal("contradictory assignment accepted")
+	}
+	if p.result.Stats.Reductions != 0 {
+		t.Errorf("infeasible trial counted as reduction: %+v", p.result.Stats)
+	}
+
+	tr := p.tryAssignment(bits, scope, map[netlist.NetID]logic.Value{k: logic.Zero})
+	if tr == nil {
+		t.Fatal("feasible assignment rejected")
+	}
+	if p.result.Stats.Reductions != 1 {
+		t.Errorf("feasible trial not counted: %+v", p.result.Stats)
+	}
+	if tr.maxClass != 1 || len(tr.classes) != 1 {
+		t.Errorf("trial classes: %+v", tr)
+	}
+}
+
+// TestFallbackSingletonsUnverified is the regression test for the
+// tautological Verified flag: when a subgroup neither equalizes under any
+// assignment nor passes the cohesion test, the fallback classes that are
+// singletons carry no verification evidence and must be emitted unverified.
+func TestFallbackSingletonsUnverified(t *testing.T) {
+	nl := netlist.New("t")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	s := pi("s")
+	zKinds := [][2]logic.Kind{
+		{logic.And, logic.Or},
+		{logic.Xor, logic.Nor},
+		{logic.Xnor, logic.Aoi21},
+	}
+	type spec struct{ x, z1, z2 netlist.NetID }
+	var specs []spec
+	for i := 0; i < 3; i++ {
+		sfx := string(rune('0' + i))
+		a := pi("a" + sfx)
+		x := nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, s)
+		// Two divergent subtrees per bit over bit-private PIs: similarity is
+		// 1/3 < Theta, and the dissimilar regions share no nets, so no
+		// control signal exists and no assignment is ever tried.
+		u, v, w, r := pi("u"+sfx), pi("v"+sfx), pi("w"+sfx), pi("r"+sfx)
+		z1 := nl.MustNet("z1" + sfx)
+		nl.MustGate("gz1"+sfx, zKinds[i][0], z1, u, v)
+		z2 := nl.MustNet("z2" + sfx)
+		if zKinds[i][1] == logic.Aoi21 {
+			nl.MustGate("gz2"+sfx, zKinds[i][1], z2, w, r, pi("t"+sfx))
+		} else {
+			nl.MustGate("gz2"+sfx, zKinds[i][1], z2, w, r)
+		}
+		specs = append(specs, spec{x, z1, z2})
+	}
+	var bits []netlist.NetID
+	for i, sp := range specs {
+		sfx := string(rune('0' + i))
+		bit := nl.MustNet("bit" + sfx)
+		nl.MustGate("gb"+sfx, logic.Nand, bit, sp.x, sp.z1, sp.z2)
+		bits = append(bits, bit)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Identify(nl, Options{CollectTrace: true})
+	if w := findWord(res, bits); w != nil {
+		t.Fatalf("subgroup emitted whole despite cohesion failure: %+v (trace %v)", w, res.Trace)
+	}
+	for _, b := range bits {
+		w := findWord(res, []netlist.NetID{b})
+		if w == nil {
+			t.Fatalf("bit %s not emitted; trace: %v", nl.NetName(b), res.Trace)
+		}
+		if len(w.Bits) != 1 {
+			continue // part of a larger (verified) class, not this bug's path
+		}
+		if w.Verified {
+			t.Errorf("fallback singleton %s emitted as verified", nl.NetName(b))
+		}
+	}
 }

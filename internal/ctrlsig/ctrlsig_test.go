@@ -79,10 +79,10 @@ func analyze(t *testing.T, nl *netlist.Netlist, bits []netlist.NetID) (*cone.Bui
 		}
 		cones = append(cones, bc)
 	}
-	common := cone.CommonKeys(it, cones)
+	common := cone.CommonKeys(cones)
 	dissim := make([][]cone.Subtree, len(cones))
 	for i, bc := range cones {
-		dissim[i] = cone.Dissimilar(it, bc, common)
+		dissim[i] = cone.Dissimilar(bc, common)
 	}
 	return b, dissim
 }
@@ -193,6 +193,78 @@ func TestFindSingleDissimilarSubtree(t *testing.T) {
 	}
 	if nl.NetName(sigs[0].Net) != "e1" {
 		t.Errorf("signal = %s, want e1 (root of the extra subtree)", nl.NetName(sigs[0].Net))
+	}
+}
+
+// TestFindSingleSubtreeParityRoot drives the len(sets)==1 path end to end
+// when the lone extra subtree's root feeds only a parity gate: the root is
+// the only candidate and, lacking a controlling value anywhere in its
+// fanout, it gets both assignment values.
+func TestFindSingleSubtreeParityRoot(t *testing.T) {
+	nl := netlist.New("t")
+	sh := nl.MustNet("sh")
+	nl.MarkPI(sh)
+	mkparts := func(sfx string) (x, y netlist.NetID) {
+		a := nl.MustNet("a" + sfx)
+		nl.MarkPI(a)
+		b := nl.MustNet("b" + sfx)
+		nl.MarkPI(b)
+		x = nl.MustNet("x" + sfx)
+		nl.MustGate("gx"+sfx, logic.Nand, x, a, sh)
+		y = nl.MustNet("y" + sfx)
+		nl.MustGate("gy"+sfx, logic.Nand, y, b, sh)
+		return x, y
+	}
+	x0, y0 := mkparts("0")
+	b0 := nl.MustNet("bit0")
+	nl.MustGate("gb0", logic.Xor, b0, x0, y0)
+	x1, y1 := mkparts("1")
+	e := nl.MustNet("e1")
+	nl.MustGate("ge1", logic.Nor, e, x1, sh)
+	b1 := nl.MustNet("bit1")
+	// The extra subtree root e feeds only this XOR: no controlling value.
+	nl.MustGate("gb1", logic.Xor, b1, x1, y1, e)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, dissim := analyze(t, nl, []netlist.NetID{b0, b1})
+	total := 0
+	for _, d := range dissim {
+		total += len(d)
+	}
+	if total != 1 {
+		t.Fatalf("want exactly one dissimilar subtree, got %d", total)
+	}
+	sigs := Find(nl, b, dissim, 3)
+	if len(sigs) != 1 || nl.NetName(sigs[0].Net) != "e1" {
+		t.Fatalf("sigs = %v, want just e1", sigNames(nl, sigs))
+	}
+	if len(sigs[0].Values) != 2 {
+		t.Errorf("values = %v, want both (root feeds only parity gates)", sigs[0].Values)
+	}
+}
+
+// TestMakeSignalRegionFallback covers the two-stage fanout scan: inside the
+// dissimilar region the net feeds only a MUX (no controlling value), so the
+// scan widens to the full fanout and picks up the NAND's controlling 0.
+func TestMakeSignalRegionFallback(t *testing.T) {
+	nl := netlist.New("t")
+	pi := func(n string) netlist.NetID {
+		id := nl.MustNet(n)
+		nl.MarkPI(id)
+		return id
+	}
+	c, a, b2, d := pi("c"), pi("a"), pi("b"), pi("d")
+	inRegion := nl.MustNet("m")
+	nl.MustGate("gm", logic.Mux2, inRegion, c, a, b2)
+	outside := nl.MustNet("o")
+	nl.MustGate("go", logic.Nand, outside, c, d)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := makeSignal(nl, c, map[netlist.NetID]bool{inRegion: true})
+	if len(s.Values) != 1 || s.Values[0] != logic.Zero {
+		t.Errorf("values = %v, want [0] via out-of-region NAND", s.Values)
 	}
 }
 

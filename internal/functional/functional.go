@@ -125,6 +125,10 @@ func extractCone(v netlist.View, net netlist.NetID, depth int) (*coneGraph, bool
 	cg := &coneGraph{root: net, index: map[netlist.NetID]int{}}
 	leafSet := map[netlist.NetID]bool{}
 	visited := map[netlist.NetID]int{} // net -> deepest remaining budget seen
+	// Per-recursion-level scratch for gate inputs: recursion is strictly
+	// depth-increasing, so a level's buffer is never live when it is reused
+	// by a sibling expansion at the same level.
+	frames := make([][]netlist.NetID, depth+1)
 	var walk func(n netlist.NetID, budget int)
 	walk = func(n netlist.NetID, budget int) {
 		if b, ok := visited[n]; ok && b >= budget {
@@ -144,8 +148,10 @@ func extractCone(v netlist.View, net netlist.NetID, depth int) (*coneGraph, bool
 			leafSet[n] = true
 			return
 		}
-		for _, in := range v.GateInputs(d, nil) {
-			walk(in, budget-1)
+		lvl := depth - budget
+		frames[lvl] = v.GateInputs(d, frames[lvl][:0])
+		for i := 0; i < len(frames[lvl]); i++ {
+			walk(frames[lvl][i], budget-1)
 		}
 	}
 	walk(net, depth)

@@ -139,6 +139,88 @@ func (r *Reduction) visitGate(g netlist.GateID, queue []netlist.NetID, inbuf *[]
 // Value returns the inferred constant for a net (X if the net is live).
 func (r *Reduction) Value(n netlist.NetID) logic.Value { return r.vals[n] }
 
+// DirtyDistances returns, for every net lying within maxDist fanin levels
+// of a net the reduction changed, the minimum number of driver (fanin)
+// steps from that net down to a changed net; changed nets themselves map to
+// 0. A structural subtree (net, depth) renders identically on the original
+// and reduced circuits exactly when no changed net is within depth levels
+// of its root, so cone.Overlay uses this map to decide which subtree keys
+// can be reused from the unreduced builder's memo.
+//
+// The walk is a level-order BFS downstream over fanout edges, bounded to
+// maxDist levels; it stops at sequential cells, whose outputs are structural
+// leaves regardless of their inputs (and whose values the propagation never
+// crosses either).
+func (r *Reduction) DirtyDistances(maxDist int) map[netlist.NetID]int {
+	dist := make(map[netlist.NetID]int, 2*len(r.vals))
+	frontier := make([]netlist.NetID, 0, len(r.vals))
+	for n := range r.vals {
+		dist[n] = 0
+		frontier = append(frontier, n)
+	}
+	var next []netlist.NetID
+	for d := 1; d <= maxDist && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, n := range frontier {
+			for _, g := range r.nl.Net(n).Fanout {
+				gate := r.nl.Gate(g)
+				if !gate.Kind.IsCombinational() {
+					continue
+				}
+				if _, seen := dist[gate.Output]; seen {
+					continue
+				}
+				dist[gate.Output] = d
+				next = append(next, gate.Output)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return dist
+}
+
+// DirtyDistancesIn is DirtyDistances restricted to a scope (typically the
+// union of a subgroup's fanin-cone nets): seeds are the changed nets inside
+// scope, and the walk never leaves it. Cost is O(|scope|) regardless of how
+// far the reduction propagated — the property that makes per-trial
+// incremental re-keying cheaper than re-deriving a subgroup's keys from
+// scratch even when an assignment constant-folds a large region.
+//
+// The restriction is sound for cone.Overlay whenever scope is fanin-closed
+// over the keyed subtrees (every net within cone depth of a keyed root is in
+// scope): any fanin path from a keyed net to a changed net then lies wholly
+// inside scope, so the restricted walk assigns the same distances the global
+// walk would.
+func (r *Reduction) DirtyDistancesIn(scope map[netlist.NetID]bool, maxDist int) map[netlist.NetID]int {
+	dist := make(map[netlist.NetID]int)
+	frontier := make([]netlist.NetID, 0, 16)
+	for n := range scope {
+		if r.vals[n].Known() {
+			dist[n] = 0
+			frontier = append(frontier, n)
+		}
+	}
+	var next []netlist.NetID
+	for d := 1; d <= maxDist && len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, n := range frontier {
+			for _, g := range r.nl.Net(n).Fanout {
+				gate := r.nl.Gate(g)
+				if !gate.Kind.IsCombinational() || !scope[gate.Output] {
+					continue
+				}
+				if _, seen := dist[gate.Output]; seen {
+					continue
+				}
+				dist[gate.Output] = d
+				next = append(next, gate.Output)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return dist
+}
+
 // AssignedCount returns the number of nets with inferred constants.
 func (r *Reduction) AssignedCount() int {
 	c := 0

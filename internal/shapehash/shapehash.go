@@ -1,9 +1,10 @@
 // Package shapehash implements the baseline word-identification technique
 // that DAC'15 Table 1 calls "Base": the shape-hashing matcher in the style
 // of WordRev (Li et al., HOST'13). It shares the adjacency grouping and
-// hash-key machinery with the control-signal technique but considers only
-// the un-simplified netlist structure and groups only bits whose fanin
-// cones match fully.
+// hash-key machinery with the control-signal technique — cones keyed as
+// hash-consed (gate kind, sorted child key) tuples, so whole-cone equality
+// is a single integer compare — but considers only the un-simplified
+// netlist structure and groups only bits whose fanin cones match fully.
 package shapehash
 
 import (
