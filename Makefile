@@ -8,10 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the data-race-sensitive pipeline tests (parallel group workers)
-# under the race detector.
+# race runs the whole module under the race detector (the parallel group
+# workers in internal/core are the most race-sensitive code, but lint and
+# propagation share netlist storage too).
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./...
 
 # check is the full pre-commit gate: vet, formatting, tests, race pass.
 check:
@@ -19,7 +20,7 @@ check:
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

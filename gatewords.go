@@ -174,6 +174,10 @@ type Options struct {
 	// Workers processes adjacency groups concurrently (0/1 sequential,
 	// negative = GOMAXPROCS); the result is identical to a sequential run.
 	Workers int
+	// Lint gates the pipeline on the static-analysis pass (internal/netlint):
+	// LintLenient refuses error-severity diagnostics, LintStrict also refuses
+	// warnings. The default LintOff preserves historical behavior.
+	Lint LintMode
 }
 
 func (o Options) toCore() core.Options {
@@ -223,8 +227,12 @@ func (r *Report) MultiBitWords() []Word {
 	return out
 }
 
-// Identify runs the control-signal word-identification pipeline.
+// Identify runs the control-signal word-identification pipeline. When
+// Options.Lint is set, the design must first pass the static-analysis gate.
 func Identify(d *Design, opt Options) (*Report, error) {
+	if err := lintGate(d, opt.Lint); err != nil {
+		return nil, err
+	}
 	res := core.Identify(d.nl, opt.toCore())
 	rep := &Report{Technique: "control-signals", Trace: res.Trace}
 	for _, w := range res.Words {

@@ -1,0 +1,48 @@
+package netlint
+
+import (
+	"bytes"
+	"testing"
+
+	"gatewords/internal/verilog"
+)
+
+// FuzzNetlint hardens the diagnostic front end: arbitrary input routed
+// through the lenient parser and the full rule set must never panic, and two
+// runs over the same input must produce byte-identical JSON diagnostics
+// (the determinism contract of Run/WriteJSON).
+func FuzzNetlint(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"module m (a, y);\n input a;\n output y;\n BUF b (y, a);\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n not g1 (y, a);\n not g2 (y, a);\nendmodule", // multi-driver
+		"module m (y);\n output y;\n wire x;\n not g1 (y, x);\n not g2 (x, y);\nendmodule",     // comb cycle
+		"module m (a);\n input a;\n wire w;\nendmodule",                                        // floating + undriven
+		"module m (a, y);\n input a;\n output y;\n nand g (y, a);\nendmodule",                  // bad arity
+		"module m (a, q);\n input a;\n output q;\n DFF r (.D(a), .Q(q), .CK(a));\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n assign y = 1'b0;\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n xor t (y, a, a);\nendmodule", // const-foldable
+		"module \\weird[1] (a);\n input a;\nendmodule",
+		"module m (a); input a; wire w; /* unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := verilog.ParseLenient("fuzz.v", src)
+		if err != nil {
+			return
+		}
+		var run1, run2 bytes.Buffer
+		if err := Run(nl, Config{}).WriteJSON(&run1); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if err := Run(nl, Config{}).WriteJSON(&run2); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !bytes.Equal(run1.Bytes(), run2.Bytes()) {
+			t.Fatalf("nondeterministic diagnostics for %q:\n%s\n----\n%s", src, run1.String(), run2.String())
+		}
+	})
+}

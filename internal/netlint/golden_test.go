@@ -1,0 +1,47 @@
+package netlint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gatewords/internal/bench"
+)
+
+// TestGoldenB14Diagnostics pins the full JSON diagnostics of the generated
+// b14-class benchmark against a checked-in golden file: any drift in rule
+// behavior, message wording, ordering, or the benchmark generator itself
+// shows up as a diff. Regenerate with NETLINT_GOLDEN_UPDATE=1.
+func TestGoldenB14Diagnostics(t *testing.T) {
+	p, ok := bench.ProfileByName("b14a")
+	if !ok {
+		t.Fatal("benchmark b14a not registered")
+	}
+	gen, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Run(gen.NL, Config{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "b14a_diagnostics.golden.json")
+	if os.Getenv("NETLINT_GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with NETLINT_GOLDEN_UPDATE=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("b14a diagnostics drifted from golden (%d vs %d bytes); regenerate with NETLINT_GOLDEN_UPDATE=1 and review the diff",
+			buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,193 @@
+// Package netlint is the static-analysis gate for gate-level netlists: a
+// registry of rules with stable IDs and severities, and a collecting engine
+// that reports every violation in one pass instead of stopping at the first
+// (the fail-fast complement is netlist.Validate, which wraps the same
+// structural checks).
+//
+// The error-severity rules (NL0xx, NL100) reject netlists the downstream
+// word-identification pipeline cannot process safely: bad arities, broken
+// driver/fanout cross-indexes, multiply-driven nets, undriven non-PI nets,
+// combinational cycles. The warn/info rules flag structure that is legal but
+// suspicious — floating nets, PO-unreachable logic, constant-foldable gates,
+// duplicated drivers, X sources — plus the paper-specific NL300 heuristic
+// that surfaces anomalously high-fanout nets as candidate control signals
+// (the relevant-signal discovery of DAC'15 §2.4 starts from exactly such
+// nets).
+//
+// Output is deterministic: rules visit gates and nets in ID order and the
+// engine sorts diagnostics by (rule, message), so two runs over the same
+// netlist produce byte-identical text and JSON.
+package netlint
+
+import (
+	"gatewords/internal/netlist"
+)
+
+// Severity ranks a diagnostic. Error-severity diagnostics mean the netlist
+// must not enter the pipeline; warnings are suspicious but processable;
+// infos are observations.
+type Severity uint8
+
+// Severities, in ascending order.
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+// String returns "info", "warn" or "error".
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// SeverityFromString parses a Severity name; ok is false for unknown names.
+func SeverityFromString(s string) (Severity, bool) {
+	switch s {
+	case "info":
+		return Info, true
+	case "warn":
+		return Warn, true
+	case "error":
+		return Error, true
+	}
+	return Info, false
+}
+
+// Diagnostic is one finding. Gates and Nets carry the names of the involved
+// elements (for a combinational cycle, Gates lists the members in cycle
+// order); Message is self-contained and embeds the principal names.
+type Diagnostic struct {
+	Rule     string   `json:"rule"`
+	Name     string   `json:"name"`
+	Severity string   `json:"severity"`
+	Message  string   `json:"message"`
+	Gates    []string `json:"gates,omitempty"`
+	Nets     []string `json:"nets,omitempty"`
+}
+
+// Config selects which rules run. The zero value runs everything.
+type Config struct {
+	// Only, when non-empty, runs just the listed rules (matched by ID or
+	// name). Unknown entries are ignored.
+	Only []string
+	// Disable skips the listed rules (matched by ID or name). Disable is
+	// applied after Only.
+	Disable []string
+}
+
+func (c Config) enabled(r *Rule) bool {
+	match := func(list []string) bool {
+		for _, s := range list {
+			if s == r.ID || s == r.Name {
+				return true
+			}
+		}
+		return false
+	}
+	if len(c.Only) > 0 && !match(c.Only) {
+		return false
+	}
+	return !match(c.Disable)
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	// Module is the design name.
+	Module string `json:"module"`
+	// Diagnostics are sorted by (rule, message) for determinism.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Errors, Warnings and Infos count the diagnostics by severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// Max returns the highest severity present; ok is false when the run is
+// clean.
+func (r *Result) Max() (Severity, bool) {
+	switch {
+	case r.Errors > 0:
+		return Error, true
+	case r.Warnings > 0:
+		return Warn, true
+	case r.Infos > 0:
+		return Info, true
+	}
+	return Info, false
+}
+
+// ByRule returns the diagnostics of one rule (by ID).
+func (r *Result) ByRule(id string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Rule == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// context is the per-run state a rule writes into.
+type context struct {
+	nl    *netlist.Netlist
+	rule  *Rule
+	diags []Diagnostic
+
+	// viols caches netlist.StructuralViolations across the NL0xx rules.
+	viols     []netlist.Violation
+	haveViols bool
+}
+
+func (c *context) violations() []netlist.Violation {
+	if !c.haveViols {
+		c.viols = c.nl.StructuralViolations()
+		c.haveViols = true
+	}
+	return c.viols
+}
+
+// report emits one diagnostic for the rule currently running.
+func (c *context) report(msg string, gates []string, nets []string) {
+	c.diags = append(c.diags, Diagnostic{
+		Rule:     c.rule.ID,
+		Name:     c.rule.Name,
+		Severity: c.rule.Severity.String(),
+		Message:  msg,
+		Gates:    gates,
+		Nets:     nets,
+	})
+}
+
+// Run executes every enabled rule over the netlist and returns the sorted
+// diagnostics. Run never mutates the netlist.
+func Run(nl *netlist.Netlist, cfg Config) *Result {
+	ctx := &context{nl: nl}
+	for i := range rules {
+		r := &rules[i]
+		if !cfg.enabled(r) {
+			continue
+		}
+		ctx.rule = r
+		r.run(ctx)
+	}
+	sortDiagnostics(ctx.diags)
+	res := &Result{Module: nl.Name, Diagnostics: ctx.diags}
+	for _, d := range ctx.diags {
+		switch d.Severity {
+		case "error":
+			res.Errors++
+		case "warn":
+			res.Warnings++
+		default:
+			res.Infos++
+		}
+	}
+	return res
+}

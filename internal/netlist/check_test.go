@@ -1,0 +1,101 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+// TestValidateReportsAllViolations pins the collecting behavior: a netlist
+// with several independent defects surfaces every one of them in a single
+// Validate error instead of stopping at the first.
+func TestValidateReportsAllViolations(t *testing.T) {
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	nl.MustNet("floating") // undriven, not a PI
+	y1 := nl.MustNet("y1")
+	y2 := nl.MustNet("y2")
+	nl.MustGate("dup", logic.Not, y1, a)
+	nl.MustGate("dup", logic.Not, y2, a)            // duplicate gate name
+	nl.AddGateLenient("second", logic.Not, y1, a)   // multi-driver on y1
+	nl.AddGateLenient("starved", logic.Nand, y2, a) // wrong arity (also multi-driver)
+
+	err := nl.Validate()
+	if err == nil {
+		t.Fatal("invalid netlist accepted")
+	}
+	msg := err.Error()
+	for _, frag := range []string{
+		"undriven",
+		"duplicate gate name",
+		`net "y1" driven by both "dup" and "second"`,
+		"NAND with 1 inputs",
+	} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("joined error missing %q:\n%v", frag, err)
+		}
+	}
+}
+
+func TestStructuralViolationsOrderAndIdentity(t *testing.T) {
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	f := nl.MustNet("floating")
+	y := nl.MustNet("y")
+	nl.MustGate("g1", logic.Not, y, a)
+	g2 := nl.AddGateLenient("g2", logic.Not, y, a)
+
+	vs := nl.StructuralViolations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if vs[0].Code != CodeUndriven || vs[0].Net != f || vs[0].Gate != NoGate {
+		t.Errorf("first violation: %+v", vs[0])
+	}
+	if vs[1].Code != CodeMultiDriver || vs[1].Net != y || vs[1].Gate != g2 {
+		t.Errorf("second violation: %+v", vs[1])
+	}
+}
+
+func TestAddGateLenientKeepsFirstDriver(t *testing.T) {
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	g1 := nl.MustGate("g1", logic.Not, y, a)
+	g2 := nl.AddGateLenient("g2", logic.Buf, y, a)
+	if nl.Net(y).Driver != g1 {
+		t.Errorf("first driver displaced: %v", nl.Net(y).Driver)
+	}
+	if nl.GateCount() != 2 {
+		t.Errorf("lenient gate not recorded: %d gates", nl.GateCount())
+	}
+	extras := nl.ExtraDrivers()
+	if len(extras) != 1 || extras[0].Net != y || extras[0].Gate != g2 {
+		t.Errorf("extra drivers = %+v", extras)
+	}
+	// Fanout of the input still includes the lenient gate.
+	if fan := nl.Net(a).Fanout; len(fan) != 2 {
+		t.Errorf("fanout = %v", fan)
+	}
+}
+
+func TestCloneCopiesExtraDrivers(t *testing.T) {
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.MustGate("g1", logic.Not, y, a)
+	nl.AddGateLenient("g2", logic.Not, y, a)
+	cp := nl.Clone()
+	if len(cp.ExtraDrivers()) != 1 {
+		t.Fatalf("clone lost extra drivers: %+v", cp.ExtraDrivers())
+	}
+	nl.AddGateLenient("g3", logic.Not, y, a)
+	if len(cp.ExtraDrivers()) != 1 {
+		t.Error("clone shares extraDrivers storage with original")
+	}
+}

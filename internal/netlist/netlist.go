@@ -13,6 +13,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gatewords/internal/logic"
 )
@@ -56,6 +57,9 @@ type Netlist struct {
 	nets   []Net
 	gates  []Gate
 	byName map[string]NetID
+	// extraDrivers records multi-driver conflicts accepted by the lenient
+	// construction path (AddGateLenient) for later diagnosis.
+	extraDrivers []ExtraDriver
 }
 
 // New returns an empty netlist with the given design name.
@@ -208,71 +212,22 @@ func (nl *Netlist) DFFs() []GateID {
 
 // Validate checks structural invariants: pin arities, driver/fanout index
 // consistency, no multiply-driven nets, and that every undriven net is a
-// primary input or a constant tie-off candidate (we require PI).
+// primary input or a constant tie-off candidate (we require PI). It is a
+// thin wrapper over StructuralViolations — the same checks internal/netlint
+// exposes as error-severity rules — and reports every violation at once,
+// joined into a single error.
 func (nl *Netlist) Validate() error {
-	seenGateName := make(map[string]GateID, len(nl.gates))
-	for gi := range nl.gates {
-		g := &nl.gates[gi]
-		if g.Name != "" {
-			if prev, dup := seenGateName[g.Name]; dup {
-				return fmt.Errorf("netlist %s: duplicate gate name %q (gates %d and %d)", nl.Name, g.Name, prev, gi)
-			}
-			seenGateName[g.Name] = GateID(gi)
-		}
-		if !g.Kind.ValidArity(len(g.Inputs)) {
-			return fmt.Errorf("netlist %s: gate %q: %s with %d inputs", nl.Name, g.Name, g.Kind, len(g.Inputs))
-		}
-		if !nl.validNet(g.Output) {
-			return fmt.Errorf("netlist %s: gate %q: invalid output net", nl.Name, g.Name)
-		}
-		if nl.nets[g.Output].Driver != GateID(gi) {
-			return fmt.Errorf("netlist %s: gate %q: output net %q driver index mismatch", nl.Name, g.Name, nl.nets[g.Output].Name)
-		}
-		for _, in := range g.Inputs {
-			if !nl.validNet(in) {
-				return fmt.Errorf("netlist %s: gate %q: invalid input net", nl.Name, g.Name)
-			}
-		}
-	}
-	for ni := range nl.nets {
-		n := &nl.nets[ni]
-		if n.Driver == NoGate && !n.IsPI {
-			return fmt.Errorf("netlist %s: net %q is undriven and not a primary input", nl.Name, n.Name)
-		}
-		if n.Driver != NoGate {
-			if n.IsPI {
-				return fmt.Errorf("netlist %s: net %q is both driven and a primary input", nl.Name, n.Name)
-			}
-			if !nl.validGate(n.Driver) || nl.gates[n.Driver].Output != NetID(ni) {
-				return fmt.Errorf("netlist %s: net %q: driver index mismatch", nl.Name, n.Name)
-			}
-		}
-		for _, f := range n.Fanout {
-			if !nl.validGate(f) {
-				return fmt.Errorf("netlist %s: net %q: invalid fanout gate", nl.Name, n.Name)
-			}
-			found := false
-			for _, in := range nl.gates[f].Inputs {
-				if in == NetID(ni) {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("netlist %s: net %q: fanout gate %q does not read it", nl.Name, n.Name, nl.gates[f].Name)
-			}
-		}
-	}
-	return nil
+	return nl.joinViolations(nl.StructuralViolations())
 }
 
 // Clone returns a deep copy of the netlist.
 func (nl *Netlist) Clone() *Netlist {
 	out := &Netlist{
-		Name:   nl.Name,
-		nets:   make([]Net, len(nl.nets)),
-		gates:  make([]Gate, len(nl.gates)),
-		byName: make(map[string]NetID, len(nl.byName)),
+		Name:         nl.Name,
+		nets:         make([]Net, len(nl.nets)),
+		gates:        make([]Gate, len(nl.gates)),
+		byName:       make(map[string]NetID, len(nl.byName)),
+		extraDrivers: append([]ExtraDriver(nil), nl.extraDrivers...),
 	}
 	for i, n := range nl.nets {
 		n.Fanout = append([]GateID(nil), n.Fanout...)
@@ -374,9 +329,34 @@ func (nl *Netlist) TopoOrder() ([]GateID, error) {
 		}
 	}
 	if len(order) != want {
-		return nil, fmt.Errorf("netlist %s: combinational cycle detected (%d of %d gates ordered)", nl.Name, len(order), want)
+		return nil, fmt.Errorf("netlist %s: combinational cycle detected (%d of %d gates ordered; cycle through %s)",
+			nl.Name, len(order), want, nl.describeFirstCycle())
 	}
 	return order, nil
+}
+
+// describeFirstCycle names the member gates of the first combinational
+// cycle (smallest gate ID), for TopoOrder's error message. At most five
+// names are listed.
+func (nl *Netlist) describeFirstCycle() string {
+	sccs := nl.CombinationalSCCs()
+	if len(sccs) == 0 {
+		return "<unknown>"
+	}
+	cyc := sccs[0]
+	const maxNamed = 5
+	names := make([]string, 0, maxNamed)
+	for _, g := range cyc {
+		if len(names) == maxNamed {
+			break
+		}
+		names = append(names, fmt.Sprintf("%q", nl.gates[g].Name))
+	}
+	s := strings.Join(names, ", ")
+	if len(cyc) > maxNamed {
+		s += fmt.Sprintf(", +%d more", len(cyc)-maxNamed)
+	}
+	return s
 }
 
 // SortedNetNames returns all net names sorted; intended for deterministic

@@ -1,0 +1,127 @@
+package netlist
+
+import (
+	"sort"
+
+	"gatewords/internal/logic"
+)
+
+// CombinationalSCCs returns the combinational cycles of the netlist: the
+// strongly connected components of the combinational gate graph that are
+// nontrivial (two or more gates, or a single gate reading its own output).
+// Edges run from a gate to the combinational readers of its output net; DFFs
+// break cycles, as in TopoOrder. Each component is sorted by gate ID and the
+// components are sorted by their smallest member, so the result is
+// deterministic. A well-formed netlist returns nil.
+//
+// The traversal is iterative Tarjan, so deeply chained netlists do not
+// overflow the goroutine stack.
+func (nl *Netlist) CombinationalSCCs() [][]GateID {
+	n := len(nl.gates)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		next  int32
+		stack []GateID // Tarjan's component stack
+		sccs  [][]GateID
+	)
+
+	// frame tracks one gate's DFS position: gi is the gate, pin/out iterate
+	// its successor edges (readers of its output net).
+	type frame struct {
+		gi   GateID
+		succ []GateID
+		next int
+	}
+	successors := func(gi GateID) []GateID {
+		out := nl.gates[gi].Output
+		if !nl.validNet(out) {
+			return nil
+		}
+		fan := nl.nets[out].Fanout
+		succ := make([]GateID, 0, len(fan))
+		for _, f := range fan {
+			if nl.validGate(f) && nl.gates[f].Kind != logic.DFF {
+				succ = append(succ, f)
+			}
+		}
+		return succ
+	}
+
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited || nl.gates[root].Kind == logic.DFF {
+			continue
+		}
+		dfs = append(dfs[:0], frame{gi: GateID(root), succ: successors(GateID(root))})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, GateID(root))
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			if f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{gi: w, succ: successors(w)})
+				} else if onStack[w] && index[w] < low[f.gi] {
+					low[f.gi] = index[w]
+				}
+				continue
+			}
+			// All successors done: close the node, maybe pop a component.
+			gi := f.gi
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := &dfs[len(dfs)-1]
+				if low[gi] < low[parent.gi] {
+					low[parent.gi] = low[gi]
+				}
+			}
+			if low[gi] != index[gi] {
+				continue
+			}
+			var comp []GateID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == gi {
+					break
+				}
+			}
+			if len(comp) == 1 && !nl.selfLoop(comp[0]) {
+				continue
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+			sccs = append(sccs, comp)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// selfLoop reports whether the gate reads its own output.
+func (nl *Netlist) selfLoop(gi GateID) bool {
+	out := nl.gates[gi].Output
+	for _, in := range nl.gates[gi].Inputs {
+		if in == out {
+			return true
+		}
+	}
+	return false
+}

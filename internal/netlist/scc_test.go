@@ -1,0 +1,104 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+func sccNames(nl *Netlist, sccs [][]GateID) [][]string {
+	out := make([][]string, len(sccs))
+	for i, comp := range sccs {
+		for _, g := range comp {
+			out[i] = append(out[i], nl.Gate(g).Name)
+		}
+	}
+	return out
+}
+
+func TestCombinationalSCCsAcyclic(t *testing.T) {
+	nl, _, _, _, _ := small(t)
+	if sccs := nl.CombinationalSCCs(); len(sccs) != 0 {
+		t.Errorf("acyclic netlist has SCCs: %v", sccNames(nl, sccs))
+	}
+}
+
+func TestCombinationalSCCsTwoGateCycle(t *testing.T) {
+	nl := New("t")
+	x := nl.MustNet("x")
+	y := nl.MustNet("y")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	nl.MustGate("g1", logic.Nand, y, x, a)
+	nl.MustGate("g2", logic.Not, x, y)
+	// A side gate outside the cycle must not be swept in.
+	z := nl.MustNet("z")
+	nl.MustGate("g3", logic.Not, z, y)
+	sccs := nl.CombinationalSCCs()
+	if len(sccs) != 1 || len(sccs[0]) != 2 {
+		t.Fatalf("SCCs = %v", sccNames(nl, sccs))
+	}
+	names := sccNames(nl, sccs)[0]
+	if names[0] != "g1" || names[1] != "g2" {
+		t.Errorf("cycle members = %v", names)
+	}
+}
+
+func TestCombinationalSCCsSelfLoop(t *testing.T) {
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.MustGate("loop", logic.Nand, y, y, a)
+	sccs := nl.CombinationalSCCs()
+	if len(sccs) != 1 || len(sccs[0]) != 1 || nl.Gate(sccs[0][0]).Name != "loop" {
+		t.Fatalf("SCCs = %v", sccNames(nl, sccs))
+	}
+}
+
+func TestCombinationalSCCsDFFBreaksCycle(t *testing.T) {
+	nl := New("t")
+	q := nl.MustNet("q")
+	d := nl.MustNet("d")
+	nl.MustGate("inv", logic.Not, d, q)
+	nl.MustGate("ff", logic.DFF, q, d)
+	if sccs := nl.CombinationalSCCs(); len(sccs) != 0 {
+		t.Errorf("DFF-closed loop reported as combinational: %v", sccNames(nl, sccs))
+	}
+}
+
+func TestCombinationalSCCsTwoDisjointCycles(t *testing.T) {
+	nl := New("t")
+	mk := func(prefix string) {
+		x := nl.MustNet(prefix + "x")
+		y := nl.MustNet(prefix + "y")
+		nl.MustGate(prefix+"a", logic.Not, y, x)
+		nl.MustGate(prefix+"b", logic.Not, x, y)
+	}
+	mk("p")
+	mk("q")
+	sccs := nl.CombinationalSCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %v", sccNames(nl, sccs))
+	}
+	if got := sccNames(nl, sccs); got[0][0] != "pa" || got[1][0] != "qa" {
+		t.Errorf("components out of order: %v", got)
+	}
+}
+
+func TestTopoOrderCycleErrorNamesGates(t *testing.T) {
+	nl := New("t")
+	x := nl.MustNet("x")
+	y := nl.MustNet("y")
+	nl.MustGate("ring1", logic.Not, y, x)
+	nl.MustGate("ring2", logic.Not, x, y)
+	_, err := nl.TopoOrder()
+	if err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "ring1") || !strings.Contains(msg, "ring2") {
+		t.Errorf("cycle error does not name the member gates: %v", err)
+	}
+}

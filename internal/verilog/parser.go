@@ -27,6 +27,20 @@ func Parse(file, src string) (*netlist.Netlist, error) {
 	return nl, nil
 }
 
+// ParseLenient parses like Parse but for diagnostic front ends (gatelint):
+// structural violations — multiply-driven nets, bad gate arities — are
+// recorded on the netlist (see netlist.AddGateLenient and
+// netlist.StructuralViolations) instead of aborting the parse, and the final
+// Validate pass is skipped so a linter can report every defect in one run.
+// Syntax errors still fail.
+func ParseLenient(file, src string) (*netlist.Netlist, error) {
+	p := &parser{lx: newLexer(file, src), lenient: true}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseModule()
+}
+
 // ParseReader parses a module from r.
 func ParseReader(file string, r io.Reader) (*netlist.Netlist, error) {
 	data, err := io.ReadAll(r)
@@ -49,6 +63,9 @@ type parser struct {
 	lx  *lexer
 	tok token
 	nl  *netlist.Netlist
+	// lenient records structural violations on the netlist instead of
+	// failing the parse (ParseLenient).
+	lenient bool
 
 	// resolveModule, when set (hierarchy elaboration), maps an unknown cell
 	// name to an elaborated sub-module netlist and its header port order.
@@ -95,6 +112,18 @@ func (p *parser) keyword() string {
 		return p.tok.text
 	}
 	return ""
+}
+
+// addGate routes all gate construction: strict parses reject structural
+// violations at the offending source line, lenient parses record them on the
+// netlist for the linter.
+func (p *parser) addGate(name string, kind logic.Kind, output netlist.NetID, inputs ...netlist.NetID) error {
+	if p.lenient {
+		p.nl.AddGateLenient(name, kind, output, inputs...)
+		return nil
+	}
+	_, err := p.nl.AddGate(name, kind, output, inputs...)
+	return err
 }
 
 func (p *parser) parseModule() (*netlist.Netlist, error) {
@@ -380,7 +409,7 @@ func (p *parser) parseSupplyDecl(one bool) error {
 		// Model a supply as a buffered constant so the net has a driver.
 		c := p.constNet(one)
 		p.anon++
-		if _, err := p.nl.AddGate(fmt.Sprintf("$supply%d", p.anon), logic.Buf, id, c); err != nil {
+		if err := p.addGate(fmt.Sprintf("$supply%d", p.anon), logic.Buf, id, c); err != nil {
 			return p.errf("supply net %q: %v", nameTok.text, err)
 		}
 		if ok, err := p.accept(tokComma); err != nil {
@@ -469,7 +498,7 @@ func (p *parser) parseAssign() error {
 		return err
 	}
 	p.anon++
-	if _, err := p.nl.AddGate(fmt.Sprintf("$assign%d", p.anon), logic.Buf, lhs, rhs); err != nil {
+	if err := p.addGate(fmt.Sprintf("$assign%d", p.anon), logic.Buf, lhs, rhs); err != nil {
 		return p.errf("assign: %v", err)
 	}
 	return nil
@@ -516,7 +545,7 @@ func (p *parser) parsePrimitive(kind logic.Kind) error {
 		p.anon++
 		inst = fmt.Sprintf("$gate%d", p.anon)
 	}
-	if _, err := p.nl.AddGate(inst, kind, nets[0], nets[1:]...); err != nil {
+	if err := p.addGate(inst, kind, nets[0], nets[1:]...); err != nil {
 		return p.errf("gate %q: %v", inst, err)
 	}
 	return nil
@@ -632,7 +661,7 @@ func (p *parser) parseInstance(cell string) error {
 	if out == netlist.NoNet {
 		return p.errf("cell %s %s: output pin unconnected", cell, instTok.text)
 	}
-	if _, err := p.nl.AddGate(instTok.text, kind, out, ins...); err != nil {
+	if err := p.addGate(instTok.text, kind, out, ins...); err != nil {
 		return p.errf("cell %s %s: %v", cell, instTok.text, err)
 	}
 	return nil

@@ -1,13 +1,168 @@
 package gatewords
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"gatewords/internal/modid"
+	"gatewords/internal/netlint"
 	"gatewords/internal/netlist"
 	"gatewords/internal/propagate"
+	"gatewords/internal/verilog"
 	"gatewords/internal/wordgraph"
 )
+
+// ParseVerilogLenient parses a flattened structural-Verilog module while
+// tolerating structural violations — multiply-driven nets, wrong gate
+// arities, undriven wires — so that Lint can report every defect in one run.
+// Syntax errors still fail. The resulting Design is for diagnosis: run it
+// through Lint (or Identify with Options.Lint set) before trusting the
+// pipeline's output on it.
+func ParseVerilogLenient(name, src string) (*Design, error) {
+	nl, err := verilog.ParseLenient(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{nl: nl}, nil
+}
+
+// LintMode selects the pre-pipeline static-analysis gate of Identify.
+type LintMode int
+
+// Lint gate modes. The zero value keeps linting off, preserving the
+// historical Identify behavior.
+const (
+	// LintOff runs no pre-pipeline linting.
+	LintOff LintMode = iota
+	// LintLenient refuses the netlist only on error-severity diagnostics
+	// (broken structure the pipeline cannot process safely).
+	LintLenient
+	// LintStrict additionally refuses on warnings (floating nets, dead
+	// logic, X sources).
+	LintStrict
+)
+
+// LintDiagnostic is one static-analysis finding.
+type LintDiagnostic struct {
+	// Rule is the stable rule ID ("NL003"); Name its short handle
+	// ("multi-driver").
+	Rule string
+	Name string
+	// Severity is "error", "warn" or "info".
+	Severity string
+	// Message is self-contained; Gates and Nets carry the involved element
+	// names (for a combinational cycle, Gates lists the members).
+	Message string
+	Gates   []string
+	Nets    []string
+}
+
+// LintReport is the outcome of a Lint run. Diagnostics are deterministic:
+// sorted, with byte-identical JSON across runs on the same design.
+type LintReport struct {
+	Module      string
+	Diagnostics []LintDiagnostic
+	Errors      int
+	Warnings    int
+	Infos       int
+
+	res *netlint.Result
+}
+
+// MaxSeverity returns "error", "warn", "info", or "" for a clean run.
+func (r *LintReport) MaxSeverity() string {
+	sev, any := r.res.Max()
+	if !any {
+		return ""
+	}
+	return sev.String()
+}
+
+// WriteText emits one line per diagnostic plus a summary.
+func (r *LintReport) WriteText(w io.Writer) error { return r.res.WriteText(w) }
+
+// WriteJSON emits the report as deterministic indented JSON.
+func (r *LintReport) WriteJSON(w io.Writer) error { return r.res.WriteJSON(w) }
+
+// LintConfig selects which rules run. The zero value runs everything.
+type LintConfig struct {
+	// Only, when non-empty, runs just the listed rules (by ID or name).
+	Only []string
+	// Disable skips the listed rules (by ID or name).
+	Disable []string
+}
+
+// Lint runs the full static-analysis rule set over the design and returns
+// every finding — it never stops at the first. See LintRules for the rule
+// inventory.
+func Lint(d *Design) *LintReport { return LintWith(d, LintConfig{}) }
+
+// LintWith is Lint with rule selection.
+func LintWith(d *Design, cfg LintConfig) *LintReport {
+	res := netlint.Run(d.nl, netlint.Config{Only: cfg.Only, Disable: cfg.Disable})
+	rep := &LintReport{
+		Module:   res.Module,
+		Errors:   res.Errors,
+		Warnings: res.Warnings,
+		Infos:    res.Infos,
+		res:      res,
+	}
+	for _, diag := range res.Diagnostics {
+		rep.Diagnostics = append(rep.Diagnostics, LintDiagnostic{
+			Rule:     diag.Rule,
+			Name:     diag.Name,
+			Severity: diag.Severity,
+			Message:  diag.Message,
+			Gates:    diag.Gates,
+			Nets:     diag.Nets,
+		})
+	}
+	return rep
+}
+
+// LintRule describes one registered rule for tooling (gatelint -rules).
+type LintRule struct {
+	ID       string
+	Name     string
+	Severity string
+	Doc      string
+}
+
+// LintRules returns the rule registry in ID order.
+func LintRules() []LintRule {
+	rs := netlint.Rules()
+	out := make([]LintRule, len(rs))
+	for i, r := range rs {
+		out[i] = LintRule{ID: r.ID, Name: r.Name, Severity: r.Severity.String(), Doc: r.Doc}
+	}
+	return out
+}
+
+// lintGate enforces Options.Lint before the pipeline runs: it returns a
+// joined error carrying every gating diagnostic, or nil when the design is
+// acceptable under the mode.
+func lintGate(d *Design, mode LintMode) error {
+	if mode == LintOff {
+		return nil
+	}
+	floor := netlint.Error
+	if mode == LintStrict {
+		floor = netlint.Warn
+	}
+	res := netlint.Run(d.nl, netlint.Config{})
+	var errs []error
+	for _, diag := range res.Diagnostics {
+		if sev, ok := netlint.SeverityFromString(diag.Severity); ok && sev >= floor {
+			errs = append(errs, fmt.Errorf("%s %s: %s", diag.Rule, diag.Name, diag.Message))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("gatewords: lint gate rejected %s (%d error(s), %d warning(s)): %w",
+		d.Name(), res.Errors, res.Warnings, errors.Join(errs...))
+}
 
 // PropagatedWord is a word derived by word propagation, with provenance.
 type PropagatedWord struct {

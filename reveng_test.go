@@ -101,3 +101,133 @@ func TestFullReversePipeline(t *testing.T) {
 		t.Errorf("pipeline recovered kinds %v, want mux and bitwise", kinds)
 	}
 }
+
+// brokenModule carries a multi-driven net (y), a floating wire and a
+// combinational cycle — the lint acceptance triad.
+const brokenModule = `
+module broken (a, b, y);
+  input a, b;
+  output y;
+  wire dangle, cx, cy;
+  not g1 (y, a);
+  not g2 (y, b);
+  not gd (dangle, a);
+  not ring1 (cx, cy);
+  not ring2 (cy, cx);
+endmodule
+`
+
+func TestLintFacadeReportsAllDefects(t *testing.T) {
+	d, err := ParseVerilogLenient("broken.v", brokenModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Lint(d)
+	if rep.MaxSeverity() != "error" {
+		t.Fatalf("max severity = %q", rep.MaxSeverity())
+	}
+	seen := map[string]bool{}
+	for _, diag := range rep.Diagnostics {
+		seen[diag.Name] = true
+		if diag.Name == "comb-cycle" && len(diag.Gates) == 0 {
+			t.Error("cycle diagnostic names no gates")
+		}
+	}
+	for _, want := range []string{"multi-driver", "comb-cycle", "floating-net"} {
+		if !seen[want] {
+			t.Errorf("missing %s; diagnostics: %+v", want, rep.Diagnostics)
+		}
+	}
+	if rep.Errors == 0 || rep.Warnings == 0 {
+		t.Errorf("counts: %+v", rep)
+	}
+
+	// Deterministic JSON across runs.
+	var b1, b2 strings.Builder
+	if err := rep.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseVerilogLenient("broken.v", brokenModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(d2).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("lint JSON not byte-identical across runs")
+	}
+}
+
+func TestLintWithRuleSelection(t *testing.T) {
+	d, err := ParseVerilogLenient("broken.v", brokenModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := LintWith(d, LintConfig{Only: []string{"multi-driver"}})
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Rule != "NL003" {
+		t.Fatalf("Only selection: %+v", rep.Diagnostics)
+	}
+	rep = LintWith(d, LintConfig{Disable: []string{"NL003"}})
+	for _, diag := range rep.Diagnostics {
+		if diag.Rule == "NL003" {
+			t.Error("disabled rule still fired")
+		}
+	}
+}
+
+func TestLintRulesRegistry(t *testing.T) {
+	rs := LintRules()
+	if len(rs) == 0 {
+		t.Fatal("empty registry")
+	}
+	byID := map[string]LintRule{}
+	for _, r := range rs {
+		byID[r.ID] = r
+	}
+	if byID["NL003"].Name != "multi-driver" || byID["NL003"].Severity != "error" {
+		t.Errorf("NL003 = %+v", byID["NL003"])
+	}
+	if byID["NL300"].Severity != "info" {
+		t.Errorf("NL300 = %+v", byID["NL300"])
+	}
+}
+
+// TestOptionsLintGate: the pre-pipeline gate refuses broken designs, stays
+// off by default, and distinguishes lenient from strict.
+func TestOptionsLintGate(t *testing.T) {
+	d, err := ParseVerilogLenient("broken.v", brokenModule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Identify(d, Options{Lint: LintLenient}); err == nil {
+		t.Error("lenient gate accepted a broken design")
+	} else if !strings.Contains(err.Error(), "lint gate") || !strings.Contains(err.Error(), "NL003") {
+		t.Errorf("gate error lacks diagnostics: %v", err)
+	}
+
+	// A clean design with a warning (floating wire): lenient passes, strict
+	// refuses.
+	warnOnly := `
+module w (a, y);
+  input a;
+  output y;
+  wire dangle;
+  not g1 (y, a);
+  not gd (dangle, a);
+endmodule
+`
+	dw, err := ParseVerilogString("w.v", warnOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Identify(dw, Options{Lint: LintLenient}); err != nil {
+		t.Errorf("lenient gate refused warnings-only design: %v", err)
+	}
+	if _, err := Identify(dw, Options{Lint: LintStrict}); err == nil {
+		t.Error("strict gate accepted a design with warnings")
+	}
+	if _, err := Identify(dw, Options{}); err != nil {
+		t.Errorf("default (LintOff) changed behavior: %v", err)
+	}
+}
