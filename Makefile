@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench race
+.PHONY: build test check bench bench-eqcheck race
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# bench-eqcheck runs the equivalence-checker throughput harness over the
+# generated benchmark suite and writes BENCH_eqcheck.json (per-bench cone
+# counts, stage resolution split, solver stats, wall time).
+bench-eqcheck:
+	BENCH_EQCHECK_OUT=$(CURDIR)/BENCH_eqcheck.json $(GO) test -run TestEmitEqcheckBench -v .

@@ -1,0 +1,79 @@
+package gatewords
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestEmitEqcheckBench is the bench-eqcheck harness (see `make
+// bench-eqcheck`): it runs the identification pipeline with reduction
+// verification on a slice of the benchmark suite and writes per-bench
+// equivalence-checker throughput to the JSON file named by
+// BENCH_EQCHECK_OUT. Without that variable it is skipped, so the regular
+// test run stays fast.
+func TestEmitEqcheckBench(t *testing.T) {
+	out := os.Getenv("BENCH_EQCHECK_OUT")
+	if out == "" {
+		t.Skip("set BENCH_EQCHECK_OUT to emit BENCH_eqcheck.json")
+	}
+	type row struct {
+		Bench        string  `json:"bench"`
+		Words        int     `json:"words"`
+		ConesProved  int     `json:"cones_proved"`
+		ConesRefuted int     `json:"cones_refuted"`
+		ConesUnknown int     `json:"cones_unknown"`
+		VerifyTotal  int     `json:"verify_total"`
+		IdentifyMS   float64 `json:"identify_ms"`
+		ConesPerSec  float64 `json:"cones_per_sec"`
+	}
+	report := struct {
+		Note    string `json:"note"`
+		Benches []row  `json:"benches"`
+	}{
+		Note: "Identify with Options.VerifyReduction: every emitted word's rewritten bit cones proved against the original under the control assignment (strash -> 64-lane sim -> DPLL SAT)",
+	}
+	for _, name := range []string{"b08", "b13", "b14", "b14a"} {
+		d, err := GenerateBenchmark(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		start := time.Now()
+		rep, err := Identify(d, Options{VerifyReduction: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		elapsed := time.Since(start)
+		rv := rep.ReductionVerification
+		if rv == nil {
+			t.Fatalf("%s: no verification report", name)
+		}
+		if rv.ConesRefuted != 0 {
+			t.Fatalf("%s: %d cones refuted — reduction unsound", name, rv.ConesRefuted)
+		}
+		total := rv.ConesProved + rv.ConesRefuted + rv.ConesUnknown
+		r := row{
+			Bench:        name,
+			Words:        len(rep.Words),
+			ConesProved:  rv.ConesProved,
+			ConesRefuted: rv.ConesRefuted,
+			ConesUnknown: rv.ConesUnknown,
+			VerifyTotal:  total,
+			IdentifyMS:   float64(elapsed.Microseconds()) / 1000,
+		}
+		if secs := elapsed.Seconds(); secs > 0 && total > 0 {
+			r.ConesPerSec = float64(total) / secs
+		}
+		report.Benches = append(report.Benches, r)
+		t.Logf("%s: %d cones verified in %.1fms", name, total, r.IdentifyMS)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const andModule = `
+module ma (a, b, y);
+  input a, b;
+  output y;
+  and g1 (y, a, b);
+endmodule
+`
+
+// nandNotModule computes the same function as andModule with different
+// structure (NOT of NAND).
+const nandNotModule = `
+module mb (a, b, y);
+  input a, b;
+  output y;
+  wire n;
+  nand g1 (n, a, b);
+  not g2 (y, n);
+endmodule
+`
+
+const orModule = `
+module mc (a, b, y);
+  input a, b;
+  output y;
+  or g1 (y, a, b);
+endmodule
+`
+
+// xorLeft / xorRight reassociate a 3-input parity: structurally distinct
+// AIGs, so only simulation or SAT can decide them.
+const xorLeft = `
+module xl (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire t;
+  xor g1 (t, a, b);
+  xor g2 (y, t, c);
+endmodule
+`
+
+const xorRight = `
+module xr (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire t;
+  xor g1 (t, b, c);
+  xor g2 (y, a, t);
+endmodule
+`
+
+// gatedModule is y = a & s: equivalent to a plain buffer only under s=1.
+const gatedModule = `
+module mg (a, s, y);
+  input a, s;
+  output y;
+  and g1 (y, a, s);
+endmodule
+`
+
+const bufModule = `
+module mh (a, s, y);
+  input a, s;
+  output y;
+  buf g1 (y, a);
+endmodule
+`
+
+func writeFile(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGateeq(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestEquivalentDesigns(t *testing.T) {
+	a := writeFile(t, "a.v", andModule)
+	b := writeFile(t, "b.v", nandNotModule)
+	code, out, _ := runGateeq(t, a, b)
+	if code != 0 {
+		t.Fatalf("exit %d for equivalent designs\n%s", code, out)
+	}
+	if !strings.Contains(out, "equivalent") {
+		t.Errorf("missing verdict line:\n%s", out)
+	}
+}
+
+func TestNotEquivalentDesigns(t *testing.T) {
+	a := writeFile(t, "a.v", andModule)
+	c := writeFile(t, "c.v", orModule)
+	code, out, _ := runGateeq(t, a, c)
+	if code != 1 {
+		t.Fatalf("exit %d for non-equivalent designs, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "NOT EQUIVALENT") || !strings.Contains(out, "cex:") {
+		t.Errorf("refutation must carry a counterexample:\n%s", out)
+	}
+}
+
+func TestUnknownOnExhaustedBudget(t *testing.T) {
+	l := writeFile(t, "l.v", xorLeft)
+	r := writeFile(t, "r.v", xorRight)
+	// Equivalent, but with simulation and SAT both disabled nothing can
+	// prove it: the aggregate verdict must be unknown, exit 2.
+	code, out, _ := runGateeq(t, "-sim", "-1", "-sat-budget", "-1", l, r)
+	if code != 2 {
+		t.Fatalf("exit %d with all engines disabled, want 2\n%s", code, out)
+	}
+	// With the default budgets the same pair proves.
+	code, out, _ = runGateeq(t, l, r)
+	if code != 0 {
+		t.Fatalf("exit %d for reassociated XOR, want 0\n%s", code, out)
+	}
+}
+
+func TestPinnedEquivalence(t *testing.T) {
+	g := writeFile(t, "g.v", gatedModule)
+	h := writeFile(t, "h.v", bufModule)
+	if code, out, _ := runGateeq(t, g, h); code != 1 {
+		t.Fatalf("unpinned gated design should differ, exit %d\n%s", code, out)
+	}
+	if code, out, _ := runGateeq(t, "-pin", "s=1", g, h); code != 0 {
+		t.Fatalf("under s=1 the designs coincide, exit %d\n%s", code, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	a := writeFile(t, "a.v", andModule)
+	c := writeFile(t, "c.v", orModule)
+	code, out, _ := runGateeq(t, "-json", a, c)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep struct {
+		A       string `json:"a"`
+		B       string `json:"b"`
+		Verdict string `json:"verdict"`
+		Outputs []struct {
+			Name    string          `json:"name"`
+			Verdict string          `json:"verdict"`
+			Cex     map[string]bool `json:"cex"`
+		} `json:"outputs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Verdict != "not-equivalent" || len(rep.Outputs) != 1 || rep.Outputs[0].Name != "y" {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	if len(rep.Outputs[0].Cex) == 0 {
+		t.Error("JSON refutation missing counterexample")
+	}
+}
+
+func TestStdinDesign(t *testing.T) {
+	a := writeFile(t, "a.v", andModule)
+	var out, errb bytes.Buffer
+	code := run([]string{a, "-"}, strings.NewReader(nandNotModule), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d reading second design from stdin\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	a := writeFile(t, "a.v", andModule)
+	cases := [][]string{
+		{a},                        // one design
+		{a, "/nonexistent.v"},      // unreadable file
+		{"-pin", "s=2", a, a},      // bad pin value
+		{"-pin", "nosuch=1", a, a}, // pin matches no net
+		{"-", "-"},                 // stdin twice
+	}
+	for _, args := range cases {
+		if code, _, _ := runGateeq(t, args...); code != 3 {
+			t.Errorf("args %v: exit %d, want 3", args, code)
+		}
+	}
+}

@@ -3,16 +3,19 @@
 // multi-driven nets, bad arities, combinational cycles (with the member
 // gates named), floating nets, dead logic, X sources, constant-foldable and
 // duplicated gates, and anomalously high-fanout candidate control signals.
+// With -semantic it additionally runs the NL4xx rules, which lower the
+// design into an AIG and use SAT to prove constant outputs, semantically
+// duplicated drivers, and dead mux branches.
 //
 // Usage:
 //
-//	gatelint [-json] [-only rules] [-disable rules] [design.v | -]
+//	gatelint [-json] [-semantic] [-only rules] [-disable rules] [design.v | -]
 //	gatelint -rules
 //
 // With no file argument (or "-") the netlist is read from stdin. The exit
 // code reflects the maximum severity found: 0 for a clean or info-only run,
 // 1 when warnings are present, 2 on errors, 3 when the input cannot be
-// parsed at all.
+// parsed or the flags are invalid (e.g. an unknown rule in -only/-disable).
 package main
 
 import (
@@ -26,70 +29,93 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as deterministic JSON")
-	rulesOut := flag.Bool("rules", false, "print the rule registry and exit")
-	only := flag.String("only", "", "comma-separated rule IDs or names to run exclusively")
-	disable := flag.String("disable", "", "comma-separated rule IDs or names to skip")
-	quiet := flag.Bool("q", false, "suppress the summary line on stderr")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: gatelint [-json] [-only rules] [-disable rules] [design.v | -]")
-		fmt.Fprintln(os.Stderr, "       gatelint -rules")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gatelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as deterministic JSON")
+	rulesOut := fs.Bool("rules", false, "print the rule registry and exit")
+	only := fs.String("only", "", "comma-separated rule IDs or names to run exclusively")
+	disable := fs.String("disable", "", "comma-separated rule IDs or names to skip")
+	semantic := fs.Bool("semantic", false, "also run the NL4xx semantic rules (AIG + SAT proofs)")
+	budget := fs.Int("sat-budget", 0, "conflict cap per semantic SAT query (0 = default, negative disables SAT)")
+	quiet := fs.Bool("q", false, "suppress the summary line on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: gatelint [-json] [-semantic] [-only rules] [-disable rules] [design.v | -]")
+		fmt.Fprintln(stderr, "       gatelint -rules")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
 
 	if *rulesOut {
 		for _, r := range gatewords.LintRules() {
-			fmt.Printf("%-6s %-18s %-5s %s\n", r.ID, r.Name, r.Severity, r.Doc)
+			tag := ""
+			if r.Semantic {
+				tag = " (semantic)"
+			}
+			fmt.Fprintf(stdout, "%-6s %-18s %-5s %s%s\n", r.ID, r.Name, r.Severity, r.Doc, tag)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() > 1 {
-		flag.Usage()
-		os.Exit(3)
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 3
 	}
 
-	name, src, err := readInput(flag.Arg(0))
+	cfg := gatewords.LintConfig{
+		Only:           splitList(*only),
+		Disable:        splitList(*disable),
+		Semantic:       *semantic,
+		SemanticBudget: *budget,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "gatelint: %v\n", err)
+		return 3
+	}
+
+	name, src, err := readInput(fs.Arg(0), stdin)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gatelint: %v\n", err)
-		os.Exit(3)
+		fmt.Fprintf(stderr, "gatelint: %v\n", err)
+		return 3
 	}
 	d, err := gatewords.ParseVerilogLenient(name, src)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gatelint: %v\n", err)
-		os.Exit(3)
+		fmt.Fprintf(stderr, "gatelint: %v\n", err)
+		return 3
 	}
 
-	rep := gatewords.LintWith(d, gatewords.LintConfig{
-		Only:    splitList(*only),
-		Disable: splitList(*disable),
-	})
+	rep := gatewords.LintWith(d, cfg)
 	if *jsonOut {
-		err = rep.WriteJSON(os.Stdout)
+		err = rep.WriteJSON(stdout)
 	} else {
-		err = rep.WriteText(os.Stdout)
+		err = rep.WriteText(stdout)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gatelint: %v\n", err)
-		os.Exit(3)
+		fmt.Fprintf(stderr, "gatelint: %v\n", err)
+		return 3
 	}
 	if !*quiet && *jsonOut {
-		fmt.Fprintf(os.Stderr, "gatelint: %s: %d error(s), %d warning(s), %d info(s)\n",
+		fmt.Fprintf(stderr, "gatelint: %s: %d error(s), %d warning(s), %d info(s)\n",
 			rep.Module, rep.Errors, rep.Warnings, rep.Infos)
 	}
 	switch rep.MaxSeverity() {
 	case "error":
-		os.Exit(2)
+		return 2
 	case "warn":
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // readInput loads the netlist source from the named file, or from stdin for
 // "" / "-".
-func readInput(arg string) (name, src string, err error) {
+func readInput(arg string, stdin io.Reader) (name, src string, err error) {
 	if arg == "" || arg == "-" {
-		data, err := io.ReadAll(os.Stdin)
+		data, err := io.ReadAll(stdin)
 		if err != nil {
 			return "", "", fmt.Errorf("reading stdin: %w", err)
 		}

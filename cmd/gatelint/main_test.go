@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// semModule hides two semantically provable defects behind clean structure:
+// z = (a&b) & ~(a|b) is provably 0, and the mux it selects therefore has a
+// dead branch. No structural rule can see either.
+const semModule = `
+module semtest (a, b, m);
+  input a, b;
+  output m;
+  wire y1, y2, z;
+  and gy1 (y1, a, b);
+  nor gy2 (y2, a, b);
+  and gz (z, y1, y2);
+  MUX2 gm (.O(m), .S0(z), .D0(a), .D1(b));
+endmodule
+`
+
+const brokenModule = `
+module broken (a, b, y);
+  input a, b;
+  output y;
+  not g1 (y, a);
+  not g2 (y, b);
+endmodule
+`
+
+func writeFile(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGatelint(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUnknownRuleRejected(t *testing.T) {
+	for _, flagName := range []string{"-only", "-disable"} {
+		code, _, stderr := runGatelint(t, semModule, flagName, "NL999")
+		if code != 3 {
+			t.Errorf("%s NL999: exit %d, want 3", flagName, code)
+		}
+		if !strings.Contains(stderr, "NL999") || !strings.Contains(stderr, "NL001") {
+			t.Errorf("%s error must name the bad entry and list valid IDs:\n%s", flagName, stderr)
+		}
+	}
+	// Valid names (not just IDs) must keep working.
+	if code, _, stderr := runGatelint(t, semModule, "-only", "multi-driver"); code != 0 {
+		t.Errorf("-only multi-driver: exit %d\n%s", code, stderr)
+	}
+}
+
+func TestSemanticFlag(t *testing.T) {
+	path := writeFile(t, "sem.v", semModule)
+	code, out, _ := runGatelint(t, "", path)
+	if strings.Contains(out, "NL400") || strings.Contains(out, "NL402") {
+		t.Errorf("semantic rules ran without -semantic:\n%s", out)
+	}
+	if code != 0 {
+		t.Errorf("structurally clean design, exit %d:\n%s", code, out)
+	}
+	code, out, _ = runGatelint(t, "", "-semantic", path)
+	if !strings.Contains(out, "NL400") {
+		t.Errorf("-semantic missed the provably-constant gate:\n%s", out)
+	}
+	if !strings.Contains(out, "NL402") {
+		t.Errorf("-semantic missed the dead mux branch:\n%s", out)
+	}
+	if code != 1 {
+		t.Errorf("semantic warnings should exit 1, got %d", code)
+	}
+}
+
+func TestRulesListingTagsSemantic(t *testing.T) {
+	code, out, _ := runGatelint(t, "", "-rules")
+	if code != 0 {
+		t.Fatalf("-rules exit %d", code)
+	}
+	if !strings.Contains(out, "NL400") || !strings.Contains(out, "(semantic)") {
+		t.Errorf("-rules must list the NL4xx family with a semantic tag:\n%s", out)
+	}
+}
+
+func TestBrokenModuleExitCode(t *testing.T) {
+	code, out, _ := runGatelint(t, brokenModule)
+	if code != 2 {
+		t.Errorf("multi-driven net should exit 2, got %d\n%s", code, out)
+	}
+}

@@ -178,6 +178,10 @@ type Options struct {
 	// LintLenient refuses error-severity diagnostics, LintStrict also refuses
 	// warnings. The default LintOff preserves historical behavior.
 	Lint LintMode
+	// VerifyReduction proves, with the AIG + SAT equivalence checker, that
+	// every control-signal reduction backing an emitted word rewrote each
+	// bit's cone soundly. Outcomes appear in Report.ReductionVerification.
+	VerifyReduction bool
 }
 
 func (o Options) toCore() core.Options {
@@ -189,6 +193,7 @@ func (o Options) toCore() core.Options {
 		DFFInputsOnly:   o.DFFInputsOnly,
 		CollectTrace:    o.Trace,
 		Workers:         o.Workers,
+		VerifyReduction: o.VerifyReduction,
 	}
 }
 
@@ -213,8 +218,34 @@ type Report struct {
 	ControlSignalsUsed []string
 	// ControlSignalsFound are all relevant control signals identified.
 	ControlSignalsFound []string
-	Trace               []string
+	// ReductionVerification summarizes cone-equivalence proofs when
+	// Options.VerifyReduction is set; nil otherwise.
+	ReductionVerification *ReductionVerification
+	Trace                 []string
 }
+
+// ReductionVerification reports the soundness proof of the reductions behind
+// a report's words: every rewritten bit cone is checked equivalent to the
+// original under the chosen control assignment.
+type ReductionVerification struct {
+	ConesProved  int
+	ConesRefuted int // non-zero means a reduction rewrite is unsound
+	ConesUnknown int // SAT budget exhausted; reported, not proved
+	// Failures itemizes refuted and undecided cones.
+	Failures []ReductionCheck
+}
+
+// ReductionCheck is one refuted or undecided cone.
+type ReductionCheck struct {
+	Bit        string          // net name of the cone root
+	Assignment string          // formatted control assignment
+	Verdict    string          // "not-equivalent" or "unknown"
+	Stage      string          // deciding pipeline stage
+	Cex        map[string]bool // counterexample for refutations
+}
+
+// Sound reports whether no cone was refuted.
+func (v *ReductionVerification) Sound() bool { return v != nil && v.ConesRefuted == 0 }
 
 // MultiBitWords returns only words of two or more bits.
 func (r *Report) MultiBitWords() []Word {
@@ -240,6 +271,23 @@ func Identify(d *Design, opt Options) (*Report, error) {
 	}
 	rep.ControlSignalsUsed = d.netNames(res.UsedControlSignals)
 	rep.ControlSignalsFound = d.netNames(res.FoundControlSignals)
+	if opt.VerifyReduction {
+		rv := &ReductionVerification{
+			ConesProved:  res.Stats.ConesProved,
+			ConesRefuted: res.Stats.ConesRefuted,
+			ConesUnknown: res.Stats.ConesUnknown,
+		}
+		for _, c := range res.ReductionChecks {
+			rv.Failures = append(rv.Failures, ReductionCheck{
+				Bit:        c.Name,
+				Assignment: c.Assign,
+				Verdict:    c.Verdict,
+				Stage:      c.Stage,
+				Cex:        c.Cex,
+			})
+		}
+		rep.ReductionVerification = rv
+	}
 	return rep, nil
 }
 

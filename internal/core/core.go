@@ -30,6 +30,7 @@ import (
 
 	"gatewords/internal/cone"
 	"gatewords/internal/ctrlsig"
+	"gatewords/internal/eqcheck"
 	"gatewords/internal/group"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
@@ -69,6 +70,16 @@ type Options struct {
 	// results are merged in group order, so the output is identical to the
 	// sequential run.
 	Workers int
+	// VerifyReduction proves, for every emitted word that relied on a
+	// control-signal reduction, that each bit's rewritten cone is equivalent
+	// to the original cone under the inferred constants (AIG + SAT, see
+	// internal/eqcheck). Outcomes land in Stats.ConesProved / ConesRefuted /
+	// ConesUnknown; refutations and undecided cones are itemized in
+	// Result.ReductionChecks.
+	VerifyReduction bool
+	// VerifyMaxConflicts bounds the per-cone SAT effort when VerifyReduction
+	// is on (0 = the eqcheck default; negative disables the SAT stage).
+	VerifyMaxConflicts int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +138,22 @@ type Stats struct {
 	Reductions        int
 	ReducedWords      int // words verified through reduction
 	PartialGroupWords int // words emitted by the Theta rule
+	// Cone-equivalence verification outcomes (Options.VerifyReduction).
+	ConesProved  int // rewritten cones proved equivalent to their originals
+	ConesRefuted int // cones with a counterexample — a soundness bug
+	ConesUnknown int // cones the SAT budget could not decide
+}
+
+// ReductionCheck itemizes one reduction-verification anomaly: a rewritten
+// cone the equivalence checker refuted or could not decide. Proved cones are
+// only counted (Stats.ConesProved) — on a healthy build every cone proves.
+type ReductionCheck struct {
+	Bit     netlist.NetID
+	Name    string          // net name of the cone root
+	Assign  string          // formatted control assignment
+	Verdict string          // "not-equivalent" or "unknown"
+	Stage   string          // pipeline stage that decided (or gave up)
+	Cex     map[string]bool // counterexample, for refutations
 }
 
 // Result is the pipeline output.
@@ -138,8 +165,11 @@ type Result struct {
 	// FoundControlSignals are all distinct relevant control signals
 	// identified, whether or not an assignment helped.
 	FoundControlSignals []netlist.NetID
-	Stats               Stats
-	Trace               []string
+	// ReductionChecks lists verification anomalies (refuted or undecided
+	// cones) when Options.VerifyReduction is set; empty on a sound run.
+	ReductionChecks []ReductionCheck
+	Stats           Stats
+	Trace           []string
 }
 
 // GeneratedWords returns just the bit sets, in emission order, for metric
@@ -228,6 +258,10 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 		merged.Stats.Reductions += r.Stats.Reductions
 		merged.Stats.ReducedWords += r.Stats.ReducedWords
 		merged.Stats.PartialGroupWords += r.Stats.PartialGroupWords
+		merged.Stats.ConesProved += r.Stats.ConesProved
+		merged.Stats.ConesRefuted += r.Stats.ConesRefuted
+		merged.Stats.ConesUnknown += r.Stats.ConesUnknown
+		merged.ReductionChecks = append(merged.ReductionChecks, r.ReductionChecks...)
 		for _, n := range r.UsedControlSignals {
 			used[n] = true
 		}
@@ -359,6 +393,9 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		p.result.Stats.ReducedWords++
 		p.tracef("subgroup %s: verified %d-bit word via assignment %s",
 			p.nl.NetName(bits[0].Net), len(bits), p.formatAssign(bestTrial.assign))
+		if p.opt.VerifyReduction {
+			p.verifyTrial(bits, bestTrial)
+		}
 		p.emit(Word{Bits: bitNets(bits), Verified: true, Controls: ctrls, Assignment: bestTrial.assign})
 		return
 	}
@@ -387,6 +424,27 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 			p.used[c] = true
 		}
 		p.result.Stats.ReducedWords++
+		if p.opt.VerifyReduction {
+			// Verify only the bits that ride the reduction into a word:
+			// members of multi-bit classes.
+			inWord := make(map[netlist.NetID]bool)
+			for _, cls := range classes {
+				if len(cls) >= 2 {
+					for _, n := range cls {
+						inWord[n] = true
+					}
+				}
+			}
+			var vbits []*cone.BitCone
+			for _, bc := range bits {
+				if inWord[bc.Net] {
+					vbits = append(vbits, bc)
+				}
+			}
+			if len(vbits) > 0 {
+				p.verifyTrial(vbits, bestTrial)
+			}
+		}
 	}
 	for _, cls := range classes {
 		// Only multi-bit classes carry verification evidence: their cones
@@ -417,8 +475,39 @@ func (p *pipeline) cohesive(bits []*cone.BitCone, common []cone.KeyID) bool {
 
 type trialResult struct {
 	assign   map[netlist.NetID]logic.Value
+	red      *reduce.Reduction
 	classes  [][]netlist.NetID
 	maxClass int
+}
+
+// verifyTrial proves each bit cone of the subgroup equivalent, under tr's
+// reduction, to its original — only the winning trial of a subgroup is
+// verified, so cost scales with emitted words, not with trials. bits is
+// restricted to the bits that actually rode the reduction into a word.
+func (p *pipeline) verifyTrial(bits []*cone.BitCone, tr *trialResult) {
+	roots := make([]netlist.NetID, len(bits))
+	for i, bc := range bits {
+		roots[i] = bc.Net
+	}
+	vr := tr.red.VerifyCones(roots, p.opt.Depth, eqcheck.Options{MaxConflicts: p.opt.VerifyMaxConflicts})
+	p.result.Stats.ConesProved += vr.Proved
+	p.result.Stats.ConesRefuted += vr.Refuted
+	p.result.Stats.ConesUnknown += vr.Unknown
+	for _, c := range vr.Checks {
+		if c.Result.Verdict == eqcheck.Equivalent {
+			continue
+		}
+		p.result.ReductionChecks = append(p.result.ReductionChecks, ReductionCheck{
+			Bit:     c.Root,
+			Name:    c.Name,
+			Assign:  p.formatAssign(tr.assign),
+			Verdict: c.Result.Verdict.String(),
+			Stage:   c.Result.Stage,
+			Cex:     c.Result.Cex,
+		})
+		p.tracef("VERIFY %s under %s: %s (stage %s)",
+			c.Name, p.formatAssign(tr.assign), c.Result.Verdict, c.Result.Stage)
+	}
 }
 
 // subgroupScope returns the union of the bits' fanin-cone nets: each bit,
@@ -469,7 +558,7 @@ func (p *pipeline) tryAssignment(bits []*cone.BitCone, scope map[netlist.NetID]b
 		newBits[i] = nb
 	}
 	classes := classesByKey(newBits, bits)
-	return &trialResult{assign: assign, classes: classes, maxClass: maxClassSize(classes)}
+	return &trialResult{assign: assign, red: red, classes: classes, maxClass: maxClassSize(classes)}
 }
 
 // forEachAssignment enumerates feasible assignments: singles first, then

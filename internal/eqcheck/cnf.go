@@ -1,0 +1,41 @@
+package eqcheck
+
+// cnf.go: Tseitin encoding of an AIG cone into the DPLL solver. Only the
+// transitive fanin cone of the query literal is encoded — the surrounding
+// shared AIG (which may hold many unrelated cones) costs nothing.
+
+import "gatewords/internal/aig"
+
+// tseitin encodes the fanin cone of root into a fresh solver and asserts root
+// true. It returns the solver and the AIG-node → CNF-variable mapping (used
+// to read input values back out of a model). Each AND node v = a ∧ b becomes
+// the three clauses (¬v∨a), (¬v∨b), (v∨¬a∨¬b); the constant node, when
+// reachable, gets a unit clause forcing it false; input nodes stay free.
+func tseitin(g *aig.AIG, root aig.Lit, maxConflicts int) (*dpll, map[int]int) {
+	cone := g.ConeNodes(root)
+	varOf := make(map[int]int, len(cone))
+	for i, n := range cone {
+		varOf[n] = i
+	}
+	s := newDPLL(len(cone), maxConflicts)
+	cnfLit := func(l aig.Lit) intLit {
+		v := varOf[l.Node()]
+		if l.Negated() {
+			return negLit(v)
+		}
+		return posLit(v)
+	}
+	for _, n := range cone {
+		if f0, f1, ok := g.IsAnd(n); ok {
+			v := posLit(varOf[n])
+			a, b := cnfLit(f0), cnfLit(f1)
+			s.addClause(litNot(v), a)
+			s.addClause(litNot(v), b)
+			s.addClause(v, litNot(a), litNot(b))
+		} else if n == 0 {
+			s.addClause(negLit(varOf[n]))
+		}
+	}
+	s.addClause(cnfLit(root))
+	return s, varOf
+}

@@ -1,0 +1,271 @@
+package eqcheck
+
+// dpll.go implements a small DPLL SAT solver: two-watched-literal unit
+// propagation, chronological backtracking over an explicit decision stack, a
+// static most-occurrences branching order with false-first phase, and a
+// conflict budget that turns "too hard" into an explicit Unknown instead of
+// an open-ended search. No clause learning: the miters this solver sees are
+// depth-limited cone pairs and lint queries, where propagation plus the
+// structural sharing already performed by the AIG does most of the work.
+
+// intLit is a CNF literal: variable index shifted left with the negation bit
+// in the LSB (the same convention as aig.Lit, over CNF variables).
+type intLit = int32
+
+func posLit(v int) intLit    { return intLit(v << 1) }
+func negLit(v int) intLit    { return intLit(v<<1 | 1) }
+func litVar(l intLit) int    { return int(l >> 1) }
+func litNot(l intLit) intLit { return l ^ 1 }
+
+type clause []intLit
+
+// dpll is one solver instance over a fixed clause set.
+type dpll struct {
+	nVars   int
+	clauses []clause
+	watches [][]int32 // per literal: indices of clauses watching it
+	assign  []int8    // per variable: 0 unknown, +1 true, -1 false
+	trail   []intLit
+	qhead   int
+	units   []intLit // top-level units collected by addClause
+	unsat   bool     // top-level contradiction during construction
+
+	order []int32 // static branching order (most occurrences first)
+	occ   []int32 // per-variable occurrence counts
+
+	decisions []decision
+
+	// budget and counters
+	maxConflicts int
+	stats        Stats
+}
+
+type decision struct {
+	trailLen int
+	lit      intLit
+	flipped  bool
+}
+
+type solveStatus uint8
+
+const (
+	statusSat solveStatus = iota
+	statusUnsat
+	statusUnknown
+)
+
+func newDPLL(nVars, maxConflicts int) *dpll {
+	return &dpll{
+		nVars:        nVars,
+		watches:      make([][]int32, 2*nVars),
+		assign:       make([]int8, nVars),
+		occ:          make([]int32, nVars),
+		maxConflicts: maxConflicts,
+	}
+}
+
+// addClause installs one clause. Duplicate literals are removed and
+// tautologies dropped; empty clauses flag top-level unsatisfiability and
+// unit clauses are queued for the initial propagation.
+func (s *dpll) addClause(lits ...intLit) {
+	c := make(clause, 0, len(lits))
+	for _, l := range lits {
+		dup, taut := false, false
+		for _, e := range c {
+			if e == l {
+				dup = true
+				break
+			}
+			if e == litNot(l) {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return
+		}
+		if !dup {
+			c = append(c, l)
+		}
+	}
+	switch len(c) {
+	case 0:
+		s.unsat = true
+		return
+	case 1:
+		s.units = append(s.units, c[0])
+		s.occ[litVar(c[0])]++
+		return
+	}
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], ci)
+	s.watches[c[1]] = append(s.watches[c[1]], ci)
+	for _, l := range c {
+		s.occ[litVar(l)]++
+	}
+}
+
+func (s *dpll) value(l intLit) int8 {
+	v := s.assign[litVar(l)]
+	if l&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+// enqueue assigns literal l true; it returns false when l is already false.
+func (s *dpll) enqueue(l intLit) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	if l&1 == 1 {
+		s.assign[litVar(l)] = -1
+	} else {
+		s.assign[litVar(l)] = 1
+	}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs two-watched-literal unit propagation to fixpoint; it
+// returns false on conflict.
+func (s *dpll) propagate() bool {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		falseLit := litNot(l)
+		ws := s.watches[falseLit]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			c := s.clauses[ci]
+			// Normalize: the false watch sits at c[1].
+			if c[0] == falseLit {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.value(c[0]) == 1 {
+				ws[j] = ci
+				j++
+				continue
+			}
+			// Look for a non-false replacement watch.
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != -1 {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit (or conflicting) on c[0].
+			ws[j] = ci
+			j++
+			if !s.enqueue(c[0]) {
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[falseLit] = ws[:j]
+				return false
+			}
+		}
+		s.watches[falseLit] = ws[:j]
+	}
+	return true
+}
+
+func (s *dpll) backtrackTo(trailLen int) {
+	for len(s.trail) > trailLen {
+		l := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[litVar(l)] = 0
+	}
+	s.qhead = len(s.trail)
+}
+
+// solve runs the search. The model, when SAT, is read from s.assign
+// (unassigned variables are false).
+func (s *dpll) solve() solveStatus {
+	if s.unsat {
+		return statusUnsat
+	}
+	for _, u := range s.units {
+		if !s.enqueue(u) {
+			return statusUnsat
+		}
+	}
+	if !s.propagate() {
+		return statusUnsat
+	}
+	s.buildOrder()
+	for {
+		v := s.pickVar()
+		if v < 0 {
+			return statusSat
+		}
+		s.stats.Decisions++
+		s.decisions = append(s.decisions, decision{trailLen: len(s.trail), lit: negLit(v)})
+		s.enqueue(negLit(v))
+		for !s.propagate() {
+			s.stats.Conflicts++
+			if s.maxConflicts >= 0 && s.stats.Conflicts > s.maxConflicts {
+				return statusUnknown
+			}
+			// Chronological backtracking: flip the deepest unflipped
+			// decision, popping fully explored ones.
+			flipped := false
+			for len(s.decisions) > 0 {
+				d := &s.decisions[len(s.decisions)-1]
+				s.backtrackTo(d.trailLen)
+				if !d.flipped {
+					d.flipped = true
+					d.lit = litNot(d.lit)
+					s.enqueue(d.lit)
+					flipped = true
+					break
+				}
+				s.decisions = s.decisions[:len(s.decisions)-1]
+			}
+			if !flipped {
+				return statusUnsat
+			}
+		}
+	}
+}
+
+// buildOrder sorts variables by descending occurrence count (stable on the
+// index for determinism).
+func (s *dpll) buildOrder() {
+	s.order = make([]int32, s.nVars)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	// Insertion sort keeps this dependency-free and deterministic; variable
+	// counts here are cone-sized.
+	for i := 1; i < len(s.order); i++ {
+		for j := i; j > 0 && s.occ[s.order[j]] > s.occ[s.order[j-1]]; j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+}
+
+func (s *dpll) pickVar() int {
+	for _, v := range s.order {
+		if s.assign[v] == 0 {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// modelValue reports the value of variable v in a SAT model.
+func (s *dpll) modelValue(v int) bool { return s.assign[v] == 1 }

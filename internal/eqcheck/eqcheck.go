@@ -1,0 +1,378 @@
+// Package eqcheck implements combinational equivalence checking over the
+// shared And-Inverter Graph of internal/aig. Two functions lowered into one
+// AIG are compared by mitering them (XOR) and running a staged pipeline, each
+// stage strictly cheaper than the next:
+//
+//  1. structural hashing — if the two literals are identical the AIG already
+//     proved them equal during construction;
+//  2. 64-bit-parallel random simulation — each round evaluates 64 input
+//     patterns at once; any mismatching lane is extracted as a concrete
+//     counterexample assignment;
+//  3. Tseitin CNF + a small DPLL SAT solver — UNSAT of the miter proves
+//     equivalence, SAT yields a counterexample, and a conflict budget turns
+//     divergence into an explicit Unknown.
+//
+// The same pipeline answers plain satisfiability queries (Solve), which is
+// what the NL4xx semantic lint rules are built on.
+package eqcheck
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"gatewords/internal/aig"
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// Verdict is the outcome of an equivalence check.
+type Verdict uint8
+
+const (
+	// Equivalent: the two functions are proved equal on all inputs.
+	Equivalent Verdict = iota
+	// NotEquivalent: a concrete counterexample assignment distinguishes them.
+	NotEquivalent
+	// Unknown: the budget was exhausted before a proof or refutation.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "not-equivalent"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Defaults for zero-valued Options fields.
+const (
+	DefaultSimRounds    = 32
+	DefaultMaxConflicts = 20000
+	defaultSeed         = 0x51ab_c0de_2015_dac1
+)
+
+// Options tunes the staged pipeline. The zero value uses the defaults;
+// negative SimRounds or MaxConflicts disable that stage entirely.
+type Options struct {
+	// SimRounds is the number of 64-pattern random-simulation rounds run
+	// before falling back to SAT. 0 means DefaultSimRounds; negative skips
+	// simulation.
+	SimRounds int
+	// Seed seeds the deterministic pattern generator. 0 selects a fixed
+	// default, so results are reproducible unless a seed is given.
+	Seed uint64
+	// MaxConflicts bounds the DPLL search; exceeding it yields Unknown.
+	// 0 means DefaultMaxConflicts; negative skips the SAT stage.
+	MaxConflicts int
+}
+
+func (o Options) simRounds() int {
+	switch {
+	case o.SimRounds < 0:
+		return 0
+	case o.SimRounds == 0:
+		return DefaultSimRounds
+	}
+	return o.SimRounds
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return defaultSeed
+	}
+	return o.Seed
+}
+
+func (o Options) satEnabled() bool { return o.MaxConflicts >= 0 }
+
+func (o Options) maxConflicts() int {
+	if o.MaxConflicts == 0 {
+		return DefaultMaxConflicts
+	}
+	return o.MaxConflicts
+}
+
+// Stats reports the work each stage performed.
+type Stats struct {
+	SimRounds    int `json:"sim_rounds"`
+	Vars         int `json:"vars"`
+	Clauses      int `json:"clauses"`
+	Decisions    int `json:"decisions"`
+	Propagations int `json:"propagations"`
+	Conflicts    int `json:"conflicts"`
+}
+
+// Result is the outcome of one literal-pair (or one output-pair) check.
+type Result struct {
+	Verdict Verdict
+	// Stage names the pipeline stage that decided: "strash", "sim" or "sat".
+	// For Unknown it names the stage whose budget ran out.
+	Stage string
+	// Cex, set when NotEquivalent, assigns the miter's support inputs (by
+	// AIG input name) so the two functions differ.
+	Cex   map[string]bool
+	Stats Stats
+}
+
+// SolveStatus is the outcome of a satisfiability query.
+type SolveStatus uint8
+
+const (
+	// Sat: a model was found.
+	Sat SolveStatus = iota
+	// Unsat: the literal is proved constant-false.
+	Unsat
+	// SolveUnknown: budget exhausted.
+	SolveUnknown
+)
+
+func (s SolveStatus) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case SolveUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("SolveStatus(%d)", uint8(s))
+}
+
+// SolveResult is the outcome of Solve.
+type SolveResult struct {
+	Status SolveStatus
+	// Model, set when Sat, assigns the literal's support inputs by name.
+	Model map[string]bool
+	Stage string
+	Stats Stats
+}
+
+// splitmix64 is the deterministic pattern generator for the simulation stage.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Solve decides satisfiability of literal l in g: it looks for an input
+// assignment making l true. It runs the same staged pipeline as the
+// equivalence check (constant fold → random simulation, which can only answer
+// Sat → SAT solver).
+func Solve(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
+	switch l {
+	case aig.False:
+		return SolveResult{Status: Unsat, Stage: "strash"}
+	case aig.True:
+		return SolveResult{Status: Sat, Model: map[string]bool{}, Stage: "strash"}
+	}
+	var st Stats
+
+	// Stage 2: 64-bit-parallel random simulation.
+	if rounds := opt.simRounds(); rounds > 0 {
+		rng := splitmix64{s: opt.seed()}
+		words := make([]uint64, g.NumInputs())
+		var vals []uint64
+		for r := 0; r < rounds; r++ {
+			for i := range words {
+				words[i] = rng.next()
+			}
+			if r == 0 && len(words) > 0 {
+				// Make the first round's lanes 0 and 63 the all-zero and
+				// all-one assignments: cheap catches for constant-ish cones
+				// and deterministic counterexamples on trivial miters.
+				for i := range words {
+					words[i] = words[i]&^uint64(1) | 1<<63
+				}
+			}
+			vals = g.Sim64(words, vals)
+			st.SimRounds = r + 1
+			if w := aig.Word(vals, l); w != 0 {
+				lane := uint(bits.TrailingZeros64(w))
+				return SolveResult{
+					Status: Sat,
+					Model:  modelFromWords(g, l, words, lane),
+					Stage:  "sim",
+					Stats:  st,
+				}
+			}
+		}
+	}
+
+	if !opt.satEnabled() {
+		return SolveResult{Status: SolveUnknown, Stage: "sim", Stats: st}
+	}
+
+	// Stage 3: Tseitin CNF + DPLL.
+	s, varOf := tseitin(g, l, opt.maxConflicts())
+	st.Vars = s.nVars
+	st.Clauses = len(s.clauses) + len(s.units)
+	status := s.solve()
+	st.Decisions = s.stats.Decisions
+	st.Propagations = s.stats.Propagations
+	st.Conflicts = s.stats.Conflicts
+	switch status {
+	case statusUnsat:
+		return SolveResult{Status: Unsat, Stage: "sat", Stats: st}
+	case statusUnknown:
+		return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+	}
+	model, ok := modelFromSolver(g, l, s, varOf)
+	if !ok {
+		// The solver's model failed re-simulation: a solver bug. Degrade to
+		// Unknown rather than report a bogus counterexample.
+		return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+	}
+	return SolveResult{Status: Sat, Model: model, Stage: "sat", Stats: st}
+}
+
+// modelFromWords extracts the assignment of lane from the simulated words,
+// restricted to l's support.
+func modelFromWords(g *aig.AIG, l aig.Lit, words []uint64, lane uint) map[string]bool {
+	model := make(map[string]bool)
+	for _, i := range g.Support(l) {
+		model[g.InputName(i)] = words[i]>>lane&1 == 1
+	}
+	return model
+}
+
+// modelFromSolver reads the input assignment out of a SAT model and verifies
+// it against the AIG by simulation.
+func modelFromSolver(g *aig.AIG, l aig.Lit, s *dpll, varOf map[int]int) (map[string]bool, bool) {
+	model := make(map[string]bool)
+	assign := make([]bool, g.NumInputs())
+	for _, i := range g.Support(l) {
+		n := g.InputLit(i).Node()
+		v, ok := varOf[n]
+		if !ok {
+			continue // outside the encoded cone: value is irrelevant
+		}
+		b := s.modelValue(v)
+		model[g.InputName(i)] = b
+		assign[i] = b
+	}
+	if !g.EvalBool(assign, l) {
+		return nil, false
+	}
+	return model, true
+}
+
+// CheckLits decides whether literals a and b of the shared AIG g compute the
+// same function of the inputs. It may grow g (the miter XOR is built in
+// place, reusing existing structure via hashing).
+func CheckLits(g *aig.AIG, a, b aig.Lit, opt Options) Result {
+	if a == b {
+		return Result{Verdict: Equivalent, Stage: "strash"}
+	}
+	m := g.Xor(a, b)
+	if m == aig.False {
+		// The XOR folded away: equal by construction.
+		return Result{Verdict: Equivalent, Stage: "strash"}
+	}
+	sr := Solve(g, m, opt)
+	switch sr.Status {
+	case Unsat:
+		return Result{Verdict: Equivalent, Stage: sr.Stage, Stats: sr.Stats}
+	case Sat:
+		// The model covers the miter's support, which folding can shrink
+		// below the sides' own supports (extreme case: a vs !a folds to a
+		// constant-true miter with empty support). Complete the
+		// counterexample over both sides with the same default the model
+		// semantics uses for absent inputs: false.
+		cex := sr.Model
+		for _, side := range [2]aig.Lit{a, b} {
+			for _, i := range g.Support(side) {
+				if _, ok := cex[g.InputName(i)]; !ok {
+					cex[g.InputName(i)] = false
+				}
+			}
+		}
+		return Result{Verdict: NotEquivalent, Stage: sr.Stage, Cex: cex, Stats: sr.Stats}
+	}
+	return Result{Verdict: Unknown, Stage: sr.Stage, Stats: sr.Stats}
+}
+
+// OutputCheck is the per-observable outcome of a netlist-level check.
+type OutputCheck struct {
+	// Name is the shared observable: a primary-output net name, or
+	// aig.FFPrefix + gate name for a next-state function.
+	Name string
+	Result
+}
+
+// NetlistResult is the outcome of CheckNetlists.
+type NetlistResult struct {
+	// Outputs holds one check per shared observable, in A's declaration
+	// order.
+	Outputs []OutputCheck
+	// OnlyInA / OnlyInB list observables present on one side only; they are
+	// reported, not checked.
+	OnlyInA, OnlyInB []string
+}
+
+// Verdict aggregates: NotEquivalent dominates, then Unknown, then Equivalent.
+func (r *NetlistResult) Verdict() Verdict {
+	v := Equivalent
+	for _, oc := range r.Outputs {
+		switch oc.Result.Verdict {
+		case NotEquivalent:
+			return NotEquivalent
+		case Unknown:
+			v = Unknown
+		}
+	}
+	return v
+}
+
+// CheckNetlists compares two netlists observable-by-observable: primary
+// outputs are matched by net name and next-state functions by flip-flop gate
+// name, over a shared input space keyed by net name (primary inputs and
+// flip-flop outputs). pin forces named nets to constants on both sides before
+// lowering — the cofactor under a control assignment. The tie-off inputs
+// created by reduce.Materialize ("$const0", "$const1") are always pinned to
+// their values.
+func CheckNetlists(na, nb *netlist.Netlist, pin map[string]logic.Value, opt Options) (*NetlistResult, error) {
+	eff := make(map[string]logic.Value, len(pin)+2)
+	eff["$const0"] = logic.Zero
+	eff["$const1"] = logic.One
+	for k, v := range pin {
+		eff[k] = v
+	}
+	g := aig.New()
+	fa, err := aig.AddFrame(g, na, eff)
+	if err != nil {
+		return nil, fmt.Errorf("eqcheck: lowering %s: %w", na.Name, err)
+	}
+	fb, err := aig.AddFrame(g, nb, eff)
+	if err != nil {
+		return nil, fmt.Errorf("eqcheck: lowering %s: %w", nb.Name, err)
+	}
+	res := &NetlistResult{}
+	for _, name := range fa.OutputNames {
+		lb, ok := fb.Outputs[name]
+		if !ok {
+			res.OnlyInA = append(res.OnlyInA, name)
+			continue
+		}
+		r := CheckLits(g, fa.Outputs[name], lb, opt)
+		res.Outputs = append(res.Outputs, OutputCheck{Name: name, Result: r})
+	}
+	for _, name := range fb.OutputNames {
+		if _, ok := fa.Outputs[name]; !ok {
+			res.OnlyInB = append(res.OnlyInB, name)
+		}
+	}
+	if len(res.Outputs) == 0 {
+		return nil, errors.New("eqcheck: netlists share no observables (no matching output names or flip-flop names)")
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package eqcheck_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gatewords/internal/eqcheck"
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// byteSource deals bytes from the fuzz input, repeating 0 when exhausted.
+type byteSource struct {
+	data []byte
+	pos  int
+}
+
+func (b *byteSource) next() byte {
+	if b.pos >= len(b.data) {
+		return 0
+	}
+	v := b.data[b.pos]
+	b.pos++
+	return v
+}
+
+func (b *byteSource) pick(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(b.next()) % n
+}
+
+var fuzzKinds = []logic.Kind{
+	logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor,
+	logic.Not, logic.Buf, logic.Mux2, logic.Aoi21, logic.Oai21,
+}
+
+// fuzzNetlist builds a small acyclic netlist from the byte stream: gate
+// inputs are drawn only from already-driven nets, DFFs included.
+func fuzzNetlist(src *byteSource) *netlist.Netlist {
+	nl := netlist.New("fuzz")
+	var pool []netlist.NetID
+	nPIs := 2 + src.pick(4)
+	for i := 0; i < nPIs; i++ {
+		id := nl.MustNet("i" + string(rune('0'+i)))
+		nl.MarkPI(id)
+		pool = append(pool, id)
+	}
+	nGates := 1 + src.pick(14)
+	for i := 0; i < nGates; i++ {
+		out := nl.MustNet("n" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		name := "g" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if src.pick(8) == 0 {
+			nl.MustGate(name, logic.DFF, out, pool[src.pick(len(pool))])
+		} else {
+			k := fuzzKinds[src.pick(len(fuzzKinds))]
+			arity := 2
+			if n, fixed := k.FixedArity(); fixed {
+				arity = n
+			} else {
+				arity = 2 + src.pick(3)
+			}
+			ins := make([]netlist.NetID, arity)
+			for j := range ins {
+				ins[j] = pool[src.pick(len(pool))]
+			}
+			nl.MustGate(name, k, out, ins...)
+		}
+		pool = append(pool, out)
+	}
+	// Observe the last few driven nets.
+	nPOs := 1 + src.pick(3)
+	for i := 0; i < nPOs && i < len(pool); i++ {
+		nl.MarkPO(pool[len(pool)-1-i])
+	}
+	return nl
+}
+
+// mutate applies one semantics-preserving-or-not edit to a random gate:
+// either swaps two inputs or flips the kind to its dual. Both keep the
+// netlist structurally valid and acyclic.
+func mutate(nl *netlist.Netlist, src *byteSource) bool {
+	if nl.GateCount() == 0 {
+		return false
+	}
+	g := nl.Gate(netlist.GateID(src.pick(nl.GateCount())))
+	if g.Kind == logic.DFF {
+		return false
+	}
+	if src.pick(2) == 0 && len(g.Inputs) >= 2 {
+		i, j := src.pick(len(g.Inputs)), src.pick(len(g.Inputs))
+		if i == j {
+			j = (j + 1) % len(g.Inputs)
+		}
+		g.Inputs[i], g.Inputs[j] = g.Inputs[j], g.Inputs[i]
+		return true
+	}
+	duals := map[logic.Kind]logic.Kind{
+		logic.And: logic.Nand, logic.Nand: logic.And,
+		logic.Or: logic.Nor, logic.Nor: logic.Or,
+		logic.Xor: logic.Xnor, logic.Xnor: logic.Xor,
+		logic.Not: logic.Buf, logic.Buf: logic.Not,
+	}
+	if d, ok := duals[g.Kind]; ok {
+		g.Kind = d
+		return true
+	}
+	return false
+}
+
+// FuzzEqcheck feeds random netlist pairs (a generated netlist against a
+// possibly-mutated clone) through CheckNetlists and checks the checker's own
+// contract: no panics, verdicts stable across a repeated run, an unmutated
+// clone always proved equivalent, and every refutation's counterexample
+// replayable on the reference simulator.
+func FuzzEqcheck(f *testing.F) {
+	f.Add([]byte{3, 7, 1, 4, 1, 5, 9, 2, 6})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xa5, 0x3c}, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := &byteSource{data: data}
+		na := fuzzNetlist(src)
+		nb := na.Clone()
+		mutated := src.pick(2) == 1 && mutate(nb, src)
+		opt := eqcheck.Options{SimRounds: 4, MaxConflicts: 2000}
+		res1, err := eqcheck.CheckNetlists(na, nb, nil, opt)
+		if err != nil {
+			t.Fatalf("CheckNetlists: %v", err)
+		}
+		res2, err := eqcheck.CheckNetlists(na, nb, nil, opt)
+		if err != nil {
+			t.Fatalf("CheckNetlists rerun: %v", err)
+		}
+		if len(res1.Outputs) != len(res2.Outputs) {
+			t.Fatalf("output count changed across runs: %d vs %d", len(res1.Outputs), len(res2.Outputs))
+		}
+		for i := range res1.Outputs {
+			if res1.Outputs[i].Result.Verdict != res2.Outputs[i].Result.Verdict {
+				t.Fatalf("verdict for %q unstable: %v vs %v", res1.Outputs[i].Name,
+					res1.Outputs[i].Result.Verdict, res2.Outputs[i].Result.Verdict)
+			}
+		}
+		if !mutated && res1.Verdict() != eqcheck.Equivalent {
+			t.Fatalf("identical clone not proved equivalent: %+v", res1.Outputs)
+		}
+		for _, oc := range res1.Outputs {
+			if oc.Result.Verdict != eqcheck.NotEquivalent {
+				continue
+			}
+			if oc.Cex == nil {
+				t.Fatalf("refutation of %q without counterexample", oc.Name)
+			}
+			va := simulate(t, na, oc.Cex)
+			vb := simulate(t, nb, oc.Cex)
+			if va[oc.Name] == vb[oc.Name] {
+				t.Fatalf("cex for %q does not replay: both sides %v under %v",
+					oc.Name, va[oc.Name], oc.Cex)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package logic
+
+import "testing"
+
+// allValues is the full three-valued domain.
+var allValues = []Value{Zero, One, X}
+
+// combKinds is every combinational kind with a representative arity for
+// exhaustive enumeration (variadic kinds are covered at 2, 3 and 4 inputs by
+// TestEvalThreeValuedSoundness).
+var combKinds = []Kind{Buf, Not, And, Or, Nand, Nor, Xor, Xnor, Mux2, Aoi21, Oai21}
+
+// TestMux2ExhaustiveTable pins down the full 27-entry MUX2 truth table,
+// including the X-optimism rule: with an unknown select but equal known data
+// pins, the output is that data value — the select cannot matter. A
+// pessimistic implementation (returning X whenever sel is X) would make the
+// reduction pipeline discard cones the paper's §2.5 rewrites keep.
+func TestMux2ExhaustiveTable(t *testing.T) {
+	want := func(sel, a, b Value) Value {
+		switch sel {
+		case Zero:
+			return a
+		case One:
+			return b
+		}
+		if a.Known() && a == b {
+			return a
+		}
+		return X
+	}
+	for _, sel := range allValues {
+		for _, a := range allValues {
+			for _, b := range allValues {
+				got := Eval(Mux2, []Value{sel, a, b})
+				if got != want(sel, a, b) {
+					t.Errorf("Eval(Mux2, sel=%v a=%v b=%v) = %v, want %v",
+						sel, a, b, got, want(sel, a, b))
+				}
+			}
+		}
+	}
+}
+
+// TestMux2XOptimismCases spells out the three behaviorally distinct X-select
+// rows as documentation-grade assertions.
+func TestMux2XOptimismCases(t *testing.T) {
+	cases := []struct {
+		sel, a, b, want Value
+	}{
+		{X, One, One, One}, // equal data: select is irrelevant
+		{X, Zero, Zero, Zero},
+		{X, Zero, One, X}, // data differ: output genuinely unknown
+		{X, One, X, X},    // one data pin unknown: no optimism
+		{X, X, X, X},
+	}
+	for _, c := range cases {
+		if got := Eval(Mux2, []Value{c.sel, c.a, c.b}); got != c.want {
+			t.Errorf("Eval(Mux2, %v %v %v) = %v, want %v", c.sel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestEvalThreeValuedSoundness is the semantic contract of the whole
+// three-valued layer: whenever Eval returns a known value on a partially-X
+// vector, every completion of the X inputs to concrete booleans must produce
+// exactly that value. Exhaustive over every kind and every valid arity up to
+// four.
+func TestEvalThreeValuedSoundness(t *testing.T) {
+	for _, k := range combKinds {
+		for n := 1; n <= 4; n++ {
+			if !k.ValidArity(n) {
+				continue
+			}
+			vec := make([]Value, n)
+			var walk func(i int)
+			walk = func(i int) {
+				if i == n {
+					checkCompletions(t, k, vec)
+					return
+				}
+				for _, v := range allValues {
+					vec[i] = v
+					walk(i + 1)
+				}
+			}
+			walk(0)
+		}
+	}
+}
+
+// checkCompletions enumerates all boolean completions of vec's X entries and
+// asserts a known Eval result is invariant across them.
+func checkCompletions(t *testing.T, k Kind, vec []Value) {
+	t.Helper()
+	out := Eval(k, vec)
+	if !out.Known() {
+		return
+	}
+	var xPos []int
+	for i, v := range vec {
+		if !v.Known() {
+			xPos = append(xPos, i)
+		}
+	}
+	full := append([]Value(nil), vec...)
+	for mask := 0; mask < 1<<len(xPos); mask++ {
+		for j, p := range xPos {
+			if mask>>j&1 == 1 {
+				full[p] = One
+			} else {
+				full[p] = Zero
+			}
+		}
+		if got := Eval(k, full); got != out {
+			t.Errorf("Eval(%v, %v) = %v but completion %v gives %v — unsound optimism",
+				k, vec, out, full, got)
+			return
+		}
+	}
+}

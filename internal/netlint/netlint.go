@@ -72,14 +72,25 @@ type Diagnostic struct {
 	Nets     []string `json:"nets,omitempty"`
 }
 
-// Config selects which rules run. The zero value runs everything.
+// Config selects which rules run. The zero value runs every structural rule;
+// the semantic NL4xx family additionally requires Semantic (or an explicit
+// Only entry naming the rule).
 type Config struct {
 	// Only, when non-empty, runs just the listed rules (matched by ID or
-	// name). Unknown entries are ignored.
+	// name). Unknown entries are ignored. Naming a semantic rule here runs
+	// it even when Semantic is false.
 	Only []string
 	// Disable skips the listed rules (matched by ID or name). Disable is
 	// applied after Only.
 	Disable []string
+	// Semantic enables the NL4xx rules, which lower the design into an AIG
+	// and spend SAT effort proving facts (constant outputs, equivalent
+	// drivers, dead mux branches). Off by default so lint stays fast.
+	Semantic bool
+	// SemanticBudget caps each semantic SAT query in solver conflicts.
+	// Zero means the default budget; a negative value disables SAT
+	// entirely, leaving only the structural-hash proofs.
+	SemanticBudget int
 }
 
 func (c Config) enabled(r *Rule) bool {
@@ -94,7 +105,13 @@ func (c Config) enabled(r *Rule) bool {
 	if len(c.Only) > 0 && !match(c.Only) {
 		return false
 	}
-	return !match(c.Disable)
+	if match(c.Disable) {
+		return false
+	}
+	if r.Semantic && !c.Semantic && !match(c.Only) {
+		return false
+	}
+	return true
 }
 
 // Result is the outcome of a lint run.
@@ -137,12 +154,17 @@ func (r *Result) ByRule(id string) []Diagnostic {
 // context is the per-run state a rule writes into.
 type context struct {
 	nl    *netlist.Netlist
+	cfg   Config
 	rule  *Rule
 	diags []Diagnostic
 
 	// viols caches netlist.StructuralViolations across the NL0xx rules.
 	viols     []netlist.Violation
 	haveViols bool
+
+	// sem caches the AIG lowering and simulation signatures across the
+	// NL4xx rules; built lazily on first semantic rule.
+	sem *semState
 }
 
 func (c *context) violations() []netlist.Violation {
@@ -168,7 +190,7 @@ func (c *context) report(msg string, gates []string, nets []string) {
 // Run executes every enabled rule over the netlist and returns the sorted
 // diagnostics. Run never mutates the netlist.
 func Run(nl *netlist.Netlist, cfg Config) *Result {
-	ctx := &context{nl: nl}
+	ctx := &context{nl: nl, cfg: cfg}
 	for i := range rules {
 		r := &rules[i]
 		if !cfg.enabled(r) {

@@ -18,6 +18,9 @@ type Rule struct {
 	Name     string
 	Severity Severity
 	Doc      string
+	// Semantic marks the NL4xx rules that prove facts with an AIG and SAT;
+	// they only run under Config.Semantic (or an explicit Only entry).
+	Semantic bool
 	run      func(*context)
 }
 
@@ -97,6 +100,21 @@ var rules = []Rule{
 		ID: "NL300", Name: "ctrl-fanout", Severity: Info,
 		Doc: "net fanout is anomalously high for the design: candidate control signal (DAC'15 §2.4 seed)",
 		run: runCtrlFanout,
+	},
+	{
+		ID: "NL400", Name: "semantic-const", Severity: Warn, Semantic: true,
+		Doc: "gate output is provably constant over every input assignment (AIG + SAT proof)",
+		run: runSemanticConst,
+	},
+	{
+		ID: "NL401", Name: "semantic-dup", Severity: Info, Semantic: true,
+		Doc: "structurally different gates provably compute the identical function (the duplicates NL203 misses)",
+		run: runSemanticDup,
+	},
+	{
+		ID: "NL402", Name: "dead-mux-branch", Severity: Warn, Semantic: true,
+		Doc: "MUX2 select is provably constant, so one data branch can never be selected",
+		run: runDeadMuxBranch,
 	},
 }
 
@@ -257,18 +275,7 @@ func runDupDriver(c *context) {
 	groups := make(map[string][]netlist.GateID)
 	var order []string
 	for gi := 0; gi < c.nl.GateCount(); gi++ {
-		g := c.nl.Gate(netlist.GateID(gi))
-		ins := append([]netlist.NetID(nil), g.Inputs...)
-		switch g.Kind {
-		case logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor:
-			sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
-		}
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "%d", g.Kind)
-		for _, in := range ins {
-			fmt.Fprintf(&sb, ":%d", in)
-		}
-		key := sb.String()
+		key := dupKey(c.nl, netlist.GateID(gi))
 		if len(groups[key]) == 0 {
 			order = append(order, key)
 		}
@@ -287,6 +294,25 @@ func runDupDriver(c *context) {
 		c.report(fmt.Sprintf("gates %q are structurally identical %s drivers over the same inputs", names, kind),
 			names, nil)
 	}
+}
+
+// dupKey renders NL203's notion of structural identity: the gate kind plus
+// the input list, sorted for commutative kinds. Two gates with equal keys are
+// the structural duplicates NL203 reports; NL401 uses the same key to report
+// only the semantic duplicates NL203 cannot see.
+func dupKey(nl *netlist.Netlist, gi netlist.GateID) string {
+	g := nl.Gate(gi)
+	ins := append([]netlist.NetID(nil), g.Inputs...)
+	switch g.Kind {
+	case logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor:
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", g.Kind)
+	for _, in := range ins {
+		fmt.Fprintf(&sb, ":%d", in)
+	}
+	return sb.String()
 }
 
 // runXSource reports each undriven non-PI net that is actually read, with

@@ -1,0 +1,248 @@
+package netlint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// semanticNetlist builds a design with one finding for each NL4xx rule:
+//
+//	y1 = a & b,  y2 = ~(a | b),  z = y1 & y2   — z provably 0 (NL400, SAT)
+//	t  = a ^ a                                 — provably 0 (NL400, strash)
+//	n1 = ~(a & b), n2 = ~n1                    — n2 ≡ y1 (NL401, strash)
+//	m  = Mux2(z, d0, d1)                       — select provably 0 (NL402)
+//
+// The mux data pins are primary inputs so that m (≡ d0 under the constant
+// select) does not itself join a gate-duplicate group.
+func semanticNetlist() *netlist.Netlist {
+	nl := netlist.New("sem")
+	a := nl.MustNet("a")
+	b := nl.MustNet("b")
+	d0 := nl.MustNet("d0")
+	d1 := nl.MustNet("d1")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	nl.MarkPI(d0)
+	nl.MarkPI(d1)
+	y1 := nl.MustNet("y1")
+	y2 := nl.MustNet("y2")
+	z := nl.MustNet("z")
+	tt := nl.MustNet("t")
+	n1 := nl.MustNet("n1")
+	n2 := nl.MustNet("n2")
+	m := nl.MustNet("m")
+	nl.MustGate("gy1", logic.And, y1, a, b)
+	nl.MustGate("gy2", logic.Nor, y2, a, b)
+	nl.MustGate("gz", logic.And, z, y1, y2)
+	nl.MustGate("gt", logic.Xor, tt, a, a)
+	nl.MustGate("gn1", logic.Nand, n1, a, b)
+	nl.MustGate("gn2", logic.Not, n2, n1)
+	nl.MustGate("gm", logic.Mux2, m, z, d0, d1)
+	nl.MarkPO(m)
+	nl.MarkPO(tt)
+	nl.MarkPO(n2)
+	return nl
+}
+
+func TestSemanticRulesGated(t *testing.T) {
+	nl := semanticNetlist()
+	res := Run(nl, Config{})
+	for _, d := range res.Diagnostics {
+		if strings.HasPrefix(d.Rule, "NL4") {
+			t.Errorf("semantic rule %s ran without Config.Semantic: %s", d.Rule, d.Message)
+		}
+	}
+	// An explicit Only entry overrides the gate.
+	res = Run(nl, Config{Only: []string{"NL400"}})
+	if len(res.ByRule("NL400")) == 0 {
+		t.Error("Only=[NL400] did not run the semantic rule")
+	}
+}
+
+func TestSemanticConst(t *testing.T) {
+	nl := semanticNetlist()
+	res := Run(nl, Config{Semantic: true})
+	diags := res.ByRule("NL400")
+	byGate := map[string]string{}
+	for _, d := range diags {
+		if len(d.Gates) == 1 {
+			byGate[d.Gates[0]] = d.Message
+		}
+	}
+	if msg, ok := byGate["gz"]; !ok {
+		t.Errorf("NL400 missed gz (z = (a&b) & ~(a|b) is provably 0); got %v", diags)
+	} else if !strings.Contains(msg, "constant 0") || !strings.Contains(msg, "SAT-proved") {
+		t.Errorf("gz diagnostic should be a SAT proof of constant 0: %s", msg)
+	}
+	if msg, ok := byGate["gt"]; !ok {
+		t.Errorf("NL400 missed gt (a^a folds to 0 structurally)")
+	} else if !strings.Contains(msg, "structural hashing") {
+		t.Errorf("gt should fold in the strash, not need SAT: %s", msg)
+	}
+	for g := range byGate {
+		switch g {
+		case "gz", "gt":
+		default:
+			t.Errorf("NL400 flagged non-constant gate %q: %s", g, byGate[g])
+		}
+	}
+}
+
+func TestSemanticConstSATDisabled(t *testing.T) {
+	nl := semanticNetlist()
+	res := Run(nl, Config{Semantic: true, SemanticBudget: -1})
+	for _, d := range res.ByRule("NL400") {
+		if strings.Contains(d.Message, "SAT-proved") {
+			t.Errorf("negative budget must disable SAT, got %s", d.Message)
+		}
+	}
+	// The strash-proved finding survives without any SAT.
+	found := false
+	for _, d := range res.ByRule("NL400") {
+		if len(d.Gates) == 1 && d.Gates[0] == "gt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("strash-proved constant should not need the SAT budget")
+	}
+}
+
+func TestSemanticDupStrash(t *testing.T) {
+	nl := semanticNetlist()
+	res := Run(nl, Config{Semantic: true})
+	var hit bool
+	for _, d := range res.ByRule("NL401") {
+		has := func(n string) bool {
+			for _, g := range d.Gates {
+				if g == n {
+					return true
+				}
+			}
+			return false
+		}
+		if has("gy1") && has("gn2") {
+			hit = true
+			if !strings.Contains(d.Message, "structural hashing") {
+				t.Errorf("AND vs NOT(NAND) is a strash identity, got: %s", d.Message)
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("NL401 missed gy1 ≡ gn2 (AND rebuilt as NOT(NAND)): %v", res.ByRule("NL401"))
+	}
+}
+
+// TestSemanticDupSAT exercises the tier structural hashing cannot reach:
+// differently associated XOR trees are distinct AIG nodes but the same
+// function, so only the miter SAT query can merge them.
+func TestSemanticDupSAT(t *testing.T) {
+	nl := netlist.New("xorassoc")
+	a := nl.MustNet("a")
+	b := nl.MustNet("b")
+	cc := nl.MustNet("c")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	nl.MarkPI(cc)
+	x1 := nl.MustNet("x1")
+	x2 := nl.MustNet("x2")
+	y1 := nl.MustNet("y1")
+	y2 := nl.MustNet("y2")
+	nl.MustGate("gx1", logic.Xor, x1, a, b)
+	nl.MustGate("gx2", logic.Xor, x2, x1, cc)
+	nl.MustGate("gy1", logic.Xor, y1, b, cc)
+	nl.MustGate("gy2", logic.Xor, y2, a, y1)
+	nl.MarkPO(x2)
+	nl.MarkPO(y2)
+	res := Run(nl, Config{Semantic: true})
+	diags := res.ByRule("NL401")
+	var hit bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "gx2") && strings.Contains(d.Message, "gy2") {
+			hit = true
+			if !strings.Contains(d.Message, "SAT-proved") {
+				t.Errorf("reassociated XOR needs the SAT tier, got: %s", d.Message)
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("NL401 missed (a^b)^c ≡ a^(b^c): %v", diags)
+	}
+}
+
+// TestSemanticDupSkipsStructural: a pair NL203 already reports (identical
+// kind and inputs) must not be re-reported by NL401.
+func TestSemanticDupSkipsStructural(t *testing.T) {
+	nl := netlist.New("structdup")
+	a := nl.MustNet("a")
+	b := nl.MustNet("b")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	u := nl.MustNet("u")
+	v := nl.MustNet("v")
+	nl.MustGate("g1", logic.And, u, a, b)
+	nl.MustGate("g2", logic.And, v, b, a) // commutative: same dupKey
+	nl.MarkPO(u)
+	nl.MarkPO(v)
+	res := Run(nl, Config{Semantic: true})
+	if n := len(res.ByRule("NL203")); n != 1 {
+		t.Fatalf("NL203 should own this pair, got %d diagnostics", n)
+	}
+	if ds := res.ByRule("NL401"); len(ds) != 0 {
+		t.Errorf("NL401 must not duplicate NL203's finding: %v", ds)
+	}
+}
+
+func TestDeadMuxBranch(t *testing.T) {
+	nl := semanticNetlist()
+	res := Run(nl, Config{Semantic: true})
+	diags := res.ByRule("NL402")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the gm finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Gates[0] != "gm" {
+		t.Errorf("wrong mux flagged: %v", d.Gates)
+	}
+	if !strings.Contains(d.Message, "constant 0") || !strings.Contains(d.Message, `"d1"`) {
+		t.Errorf("select z is constant 0, so data pin 1 (d1) is dead: %s", d.Message)
+	}
+}
+
+// TestSemanticDeterministic: two runs over the same design must produce
+// identical diagnostics (fixed simulation seed, ordered traversals).
+func TestSemanticDeterministic(t *testing.T) {
+	nl := semanticNetlist()
+	r1 := Run(nl, Config{Semantic: true})
+	r2 := Run(nl, Config{Semantic: true})
+	if !reflect.DeepEqual(r1.Diagnostics, r2.Diagnostics) {
+		t.Errorf("semantic lint is not deterministic:\n%v\nvs\n%v", r1.Diagnostics, r2.Diagnostics)
+	}
+}
+
+// TestSemanticSkipsBrokenNetlist: when the AIG lowering fails (here: a
+// combinational cycle), the semantic rules stand down silently and the
+// structural rules still report the underlying problem.
+func TestSemanticSkipsBrokenNetlist(t *testing.T) {
+	nl := netlist.New("cyc")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	p := nl.MustNet("p")
+	q := nl.MustNet("q")
+	nl.MustGate("g1", logic.And, p, a, q)
+	nl.MustGate("g2", logic.And, q, a, p)
+	nl.MarkPO(q)
+	res := Run(nl, Config{Semantic: true})
+	if len(res.ByRule("NL100")) == 0 {
+		t.Fatal("cycle not reported by NL100")
+	}
+	for _, d := range res.Diagnostics {
+		if strings.HasPrefix(d.Rule, "NL4") {
+			t.Errorf("semantic rule %s ran on an unlowerable netlist: %s", d.Rule, d.Message)
+		}
+	}
+}

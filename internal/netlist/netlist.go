@@ -306,19 +306,16 @@ func (nl *Netlist) TopoOrder() ([]GateID, error) {
 		g := ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
 		order = append(order, g)
+		// Fanout holds one entry per reading pin, so a gate reading this
+		// net on several pins is decremented once per pin — exactly
+		// matching how indeg counted it above.
 		for _, f := range nl.nets[nl.gates[g].Output].Fanout {
 			if nl.gates[f].Kind == logic.DFF {
 				continue
 			}
-			// A gate may read the same net on several pins; decrement once
-			// per pin occurrence.
-			for _, in := range nl.gates[f].Inputs {
-				if in == nl.gates[g].Output {
-					indeg[f]--
-					if indeg[f] == 0 {
-						ready = append(ready, f)
-					}
-				}
+			indeg[f]--
+			if indeg[f] == 0 {
+				ready = append(ready, f)
 			}
 		}
 	}

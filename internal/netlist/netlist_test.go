@@ -190,6 +190,34 @@ func TestTopoOrder(t *testing.T) {
 	}
 }
 
+func TestTopoOrderDuplicatePins(t *testing.T) {
+	// Regression: a gate reading one net on several pins used to be
+	// decremented once per fanout entry *times* once per pin — double
+	// counting that could schedule it before its other inputs' drivers.
+	nl := New("t")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	n1 := nl.MustNet("n1")
+	n2 := nl.MustNet("n2")
+	n3 := nl.MustNet("n3")
+	// g2 reads n2 twice and n1 once; g1 (driver of n1) is added last so a
+	// premature schedule of g2 would order it first.
+	nl.MustGate("gbuf", logic.Not, n2, a)
+	nl.MustGate("g2", logic.Xor, n3, n2, n2, n1)
+	nl.MustGate("g1", logic.Not, n1, a)
+	order, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, g := range order {
+		pos[nl.Gate(g).Name] = i
+	}
+	if !(pos["g1"] < pos["g2"] && pos["gbuf"] < pos["g2"]) {
+		t.Errorf("duplicate-pin gate ordered before its drivers: %v", pos)
+	}
+}
+
 func TestTopoOrderThroughDFF(t *testing.T) {
 	// A cycle through a DFF is legal sequential logic, not a combinational
 	// cycle.

@@ -1,0 +1,149 @@
+package reduce
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// TestSimplifyGateExhaustiveSoundness proves SimplifyGate's rewrite contract
+// by brute force: for every combinational kind, every valid arity up to
+// four, and every {0,1,X} vector of per-net constant knowledge, the rewritten
+// gate must agree with the original under every boolean completion of the
+// unknown nets.
+//
+// Three contract clauses are checked per case:
+//   - a returned known constant equals logic.Eval of the original gate on
+//     every completion;
+//   - otherwise, evaluating the effective (kind, inputs) on the completion
+//     equals the original gate's output, and that output is never forced by
+//     the constants alone (else the constant clause should have fired);
+//   - the effective inputs reference only original input nets, and none of
+//     them is a net the constants already know — except for a surviving
+//     MUX2, which by documented contract keeps all three pins when only a
+//     data pin is known (an overlay cannot synthesize the inverters the
+//     AND/OR residue would need).
+func TestSimplifyGateExhaustiveSoundness(t *testing.T) {
+	kinds := []logic.Kind{
+		logic.Buf, logic.Not, logic.And, logic.Or, logic.Nand, logic.Nor,
+		logic.Xor, logic.Xnor, logic.Mux2, logic.Aoi21, logic.Oai21,
+	}
+	domain := []logic.Value{logic.Zero, logic.One, logic.X}
+	cases := 0
+	for _, k := range kinds {
+		for n := 1; n <= 4; n++ {
+			if !k.ValidArity(n) {
+				continue
+			}
+			// Net i+1 is pin i (0 is reserved; distinct nets per pin).
+			ins := make([]netlist.NetID, n)
+			for i := range ins {
+				ins[i] = netlist.NetID(i + 1)
+			}
+			vals := make([]logic.Value, n)
+			var walk func(i int)
+			walk = func(i int) {
+				if i == n {
+					cases++
+					checkSimplify(t, k, ins, vals)
+					return
+				}
+				for _, v := range domain {
+					vals[i] = v
+					walk(i + 1)
+				}
+			}
+			walk(0)
+		}
+	}
+	if cases == 0 {
+		t.Fatal("no cases enumerated")
+	}
+	t.Logf("%d (kind, arity, constant-vector) cases verified", cases)
+}
+
+func checkSimplify(t *testing.T, k logic.Kind, ins []netlist.NetID, vals []logic.Value) {
+	t.Helper()
+	known := make(map[netlist.NetID]logic.Value)
+	for i, id := range ins {
+		if vals[i].Known() {
+			known[id] = vals[i]
+		}
+	}
+	val := func(id netlist.NetID) logic.Value {
+		if v, ok := known[id]; ok {
+			return v
+		}
+		return logic.X
+	}
+	kk, effIns, constOut := SimplifyGate(k, ins, val)
+
+	if constOut.Known() && len(effIns) != 0 {
+		t.Fatalf("%v %v: constant %v with surviving pins %v", k, vals, constOut, effIns)
+	}
+	inSet := make(map[netlist.NetID]bool, len(ins))
+	for _, id := range ins {
+		inSet[id] = true
+	}
+	for _, id := range effIns {
+		if !inSet[id] {
+			t.Fatalf("%v %v: effective input %d is not an original pin", k, vals, id)
+		}
+		if _, ok := known[id]; ok && kk != logic.Mux2 {
+			t.Fatalf("%v %v: effective inputs %v retain known net %d", k, vals, effIns, id)
+		}
+	}
+
+	// Enumerate every completion of the unknown nets.
+	var free []netlist.NetID
+	for _, id := range ins {
+		if _, ok := known[id]; !ok {
+			free = append(free, id)
+		}
+	}
+	for mask := 0; mask < 1<<len(free); mask++ {
+		assign := make(map[netlist.NetID]logic.Value, len(known)+len(free))
+		for id, v := range known {
+			assign[id] = v
+		}
+		for j, id := range free {
+			if mask>>j&1 == 1 {
+				assign[id] = logic.One
+			} else {
+				assign[id] = logic.Zero
+			}
+		}
+		full := make([]logic.Value, len(ins))
+		for i, id := range ins {
+			full[i] = assign[id]
+		}
+		want := logic.Eval(k, full)
+		if constOut.Known() {
+			if want != constOut {
+				t.Fatalf("%v %v: simplified to constant %v but completion %v evaluates to %v",
+					k, vals, constOut, full, want)
+			}
+			continue
+		}
+		effVals := make([]logic.Value, len(effIns))
+		for i, id := range effIns {
+			effVals[i] = assign[id]
+		}
+		got := logic.Eval(kk, effVals)
+		if got != want {
+			t.Fatalf("%v %v -> %v over %v: completion %v gives %v, original gives %v",
+				k, vals, kk, effIns, full, got, want)
+		}
+	}
+}
+
+// TestSimplifyGateDFFUntouched: sequential gates pass through unchanged —
+// reduction rewrites are strictly combinational.
+func TestSimplifyGateDFFUntouched(t *testing.T) {
+	val := func(netlist.NetID) logic.Value { return logic.One }
+	kk, ins, out := SimplifyGate(logic.DFF, []netlist.NetID{7}, val)
+	if kk != logic.DFF || len(ins) != 1 || ins[0] != 7 || out.Known() {
+		t.Fatalf("DFF rewritten: kind=%v ins=%v out=%v", kk, ins, out)
+	}
+}

@@ -85,12 +85,45 @@ func (r *LintReport) WriteText(w io.Writer) error { return r.res.WriteText(w) }
 // WriteJSON emits the report as deterministic indented JSON.
 func (r *LintReport) WriteJSON(w io.Writer) error { return r.res.WriteJSON(w) }
 
-// LintConfig selects which rules run. The zero value runs everything.
+// LintConfig selects which rules run. The zero value runs every structural
+// rule; the semantic NL4xx family additionally requires Semantic.
 type LintConfig struct {
 	// Only, when non-empty, runs just the listed rules (by ID or name).
 	Only []string
 	// Disable skips the listed rules (by ID or name).
 	Disable []string
+	// Semantic enables the NL4xx rules, which prove facts about the design
+	// (constant outputs, equivalent drivers, dead mux branches) with an AIG
+	// and SAT. Off by default so lint stays fast.
+	Semantic bool
+	// SemanticBudget caps each semantic SAT query in solver conflicts
+	// (0 = default; negative disables SAT).
+	SemanticBudget int
+}
+
+// Validate reports the entries of Only and Disable that match no registered
+// rule ID or name — almost always a typo the caller should surface instead
+// of silently linting with a different rule set.
+func (c LintConfig) Validate() error {
+	known := make(map[string]bool)
+	for _, r := range netlint.Rules() {
+		known[r.ID] = true
+		known[r.Name] = true
+	}
+	var bad []string
+	for _, s := range append(append([]string(nil), c.Only...), c.Disable...) {
+		if !known[s] {
+			bad = append(bad, s)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(netlint.Rules()))
+	for _, r := range netlint.Rules() {
+		ids = append(ids, r.ID)
+	}
+	return fmt.Errorf("gatewords: unknown lint rule(s) %q; valid IDs: %v (see -rules for names)", bad, ids)
 }
 
 // Lint runs the full static-analysis rule set over the design and returns
@@ -100,7 +133,12 @@ func Lint(d *Design) *LintReport { return LintWith(d, LintConfig{}) }
 
 // LintWith is Lint with rule selection.
 func LintWith(d *Design, cfg LintConfig) *LintReport {
-	res := netlint.Run(d.nl, netlint.Config{Only: cfg.Only, Disable: cfg.Disable})
+	res := netlint.Run(d.nl, netlint.Config{
+		Only:           cfg.Only,
+		Disable:        cfg.Disable,
+		Semantic:       cfg.Semantic,
+		SemanticBudget: cfg.SemanticBudget,
+	})
 	rep := &LintReport{
 		Module:   res.Module,
 		Errors:   res.Errors,
@@ -127,6 +165,8 @@ type LintRule struct {
 	Name     string
 	Severity string
 	Doc      string
+	// Semantic marks rules that need LintConfig.Semantic to run.
+	Semantic bool
 }
 
 // LintRules returns the rule registry in ID order.
@@ -134,7 +174,7 @@ func LintRules() []LintRule {
 	rs := netlint.Rules()
 	out := make([]LintRule, len(rs))
 	for i, r := range rs {
-		out[i] = LintRule{ID: r.ID, Name: r.Name, Severity: r.Severity.String(), Doc: r.Doc}
+		out[i] = LintRule{ID: r.ID, Name: r.Name, Severity: r.Severity.String(), Doc: r.Doc, Semantic: r.Semantic}
 	}
 	return out
 }
