@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-eqcheck race
+.PHONY: build test check bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,16 @@ bench:
 # counts, stage resolution split, solver stats, wall time).
 bench-eqcheck:
 	BENCH_EQCHECK_OUT=$(CURDIR)/BENCH_eqcheck.json $(GO) test -run TestEmitEqcheckBench -v .
+
+# bench-pipeline regenerates the committed per-stage performance baseline
+# BENCH_pipeline.json: core.Identify over every Table-1 analog with an
+# Observer attached and reduction verification on, recording the stage split
+# (group/match/ctrlsig/trial/verify), work counters, and peak gauges.
+bench-pipeline:
+	BENCH_PIPELINE_OUT=$(CURDIR)/BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .
+
+# bench-pipeline-smoke exercises the same harness on two small analogs and a
+# throwaway output file — the CI guard that the emitter keeps working without
+# paying for the b17/b18 rows.
+bench-pipeline-smoke:
+	BENCH_PIPELINE_OUT=$$(mktemp) BENCH_PIPELINE_BENCHES=b03a,b08a $(GO) test -run TestEmitPipelineBench -v .

@@ -1,0 +1,295 @@
+package gatewords
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gatewords/internal/bench"
+	"gatewords/internal/core"
+	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
+)
+
+// pipelineBenchFile is the committed per-stage performance baseline emitted
+// by `make bench-pipeline` and schema-checked by
+// TestBenchPipelineJSONWellFormed on every test run.
+const pipelineBenchFile = "BENCH_pipeline.json"
+
+type pipelineBenchRow struct {
+	Bench        string        `json:"bench"`
+	Gates        int           `json:"gates"`
+	Nets         int           `json:"nets"`
+	Words        int           `json:"words"`
+	ReducedWords int           `json:"reduced_words"`
+	ConesProved  int           `json:"cones_proved"`
+	IdentifyMS   float64       `json:"identify_ms"`
+	Obs          *obs.Recorder `json:"obs"`
+}
+
+type pipelineBenchDoc struct {
+	Note    string             `json:"note"`
+	Benches []pipelineBenchRow `json:"benches"`
+}
+
+// TestEmitPipelineBench is the bench-pipeline harness (see `make
+// bench-pipeline`): it runs the full identification pipeline, with an
+// Observer attached and reduction verification on, over every Table-1 analog
+// and writes the per-benchmark stage split (plus work counters and peak
+// gauges) to the JSON file named by BENCH_PIPELINE_OUT. Without that
+// variable it is skipped, so the regular test run stays fast.
+// BENCH_PIPELINE_BENCHES, when set, restricts the run to a comma-separated
+// subset — the CI smoke uses it to keep the workflow fast.
+func TestEmitPipelineBench(t *testing.T) {
+	out := os.Getenv("BENCH_PIPELINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PIPELINE_OUT to emit " + pipelineBenchFile)
+	}
+	only := map[string]bool{}
+	if subset := os.Getenv("BENCH_PIPELINE_BENCHES"); subset != "" {
+		for _, name := range strings.Split(subset, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
+	doc := pipelineBenchDoc{
+		Note: "core.Identify per-stage wall time (group/match/ctrlsig/trial/verify), work counters, and peak gauges per Table-1 analog; Observer attached, VerifyReduction on",
+	}
+	for _, p := range bench.Profiles {
+		if len(only) > 0 && !only[p.Name] {
+			continue
+		}
+		gen, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		rec := obs.New()
+		start := time.Now()
+		res := core.Identify(gen.NL, core.Options{Observer: rec, VerifyReduction: true})
+		elapsed := time.Since(start)
+		if res.Stats.Interrupted {
+			t.Fatalf("%s: interrupted without a context", p.Name)
+		}
+		if res.Stats.ConesRefuted != 0 {
+			t.Fatalf("%s: %d cones refuted — reduction unsound", p.Name, res.Stats.ConesRefuted)
+		}
+		stats := gen.NL.ComputeStats()
+		doc.Benches = append(doc.Benches, pipelineBenchRow{
+			Bench:        p.Name,
+			Gates:        stats.Gates + stats.DFFs,
+			Nets:         gen.NL.NetCount(),
+			Words:        len(res.Words),
+			ReducedWords: res.Stats.ReducedWords,
+			ConesProved:  res.Stats.ConesProved,
+			IdentifyMS:   float64(elapsed.Microseconds()) / 1000,
+			Obs:          rec,
+		})
+		t.Logf("%s: %.1fms  %s", p.Name, float64(elapsed.Microseconds())/1000, rec.StageLine())
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestBenchPipelineJSONWellFormed guards the committed baseline: the file
+// must parse, cover every Table-1 analog in profile order, and carry the full
+// stage/counter/gauge vectors for each. Timings are machine-dependent and are
+// only checked for sanity (non-negative, with the trial stage of at least one
+// bench non-trivial).
+func TestBenchPipelineJSONWellFormed(t *testing.T) {
+	data, err := os.ReadFile(pipelineBenchFile)
+	if err != nil {
+		t.Fatalf("missing committed baseline (run `make bench-pipeline`): %v", err)
+	}
+	// The obs.Recorder snapshot is render-only, so parse its raw document
+	// here rather than through the type.
+	var doc struct {
+		Note    string `json:"note"`
+		Benches []struct {
+			Bench      string  `json:"bench"`
+			Gates      int     `json:"gates"`
+			Nets       int     `json:"nets"`
+			Words      int     `json:"words"`
+			IdentifyMS float64 `json:"identify_ms"`
+			Obs        struct {
+				Stages []struct {
+					Stage string  `json:"stage"`
+					MS    float64 `json:"ms"`
+					Spans int64   `json:"spans"`
+				} `json:"stages"`
+				Counters []struct {
+					Name  string `json:"name"`
+					Value int64  `json:"value"`
+				} `json:"counters"`
+				Gauges []struct {
+					Name string `json:"name"`
+					Peak int64  `json:"peak"`
+				} `json:"gauges"`
+			} `json:"obs"`
+		} `json:"benches"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("%s: %v", pipelineBenchFile, err)
+	}
+	if len(doc.Benches) != len(bench.Profiles) {
+		t.Fatalf("%d benches, want %d (all Table-1 analogs)", len(doc.Benches), len(bench.Profiles))
+	}
+	sawTrialTime := false
+	for i, row := range doc.Benches {
+		if want := bench.Profiles[i].Name; row.Bench != want {
+			t.Errorf("bench[%d] = %q, want %q (profile order)", i, row.Bench, want)
+		}
+		if row.Gates <= 0 || row.Nets <= 0 || row.Words <= 0 {
+			t.Errorf("%s: degenerate size row: %+v", row.Bench, row)
+		}
+		if row.IdentifyMS < 0 {
+			t.Errorf("%s: negative identify_ms", row.Bench)
+		}
+		if len(row.Obs.Stages) != int(obs.NumStages) {
+			t.Fatalf("%s: %d stages, want %d", row.Bench, len(row.Obs.Stages), obs.NumStages)
+		}
+		for s, st := range row.Obs.Stages {
+			if want := obs.Stage(s).String(); st.Stage != want {
+				t.Errorf("%s: stage[%d] = %q, want %q (enum order)", row.Bench, s, st.Stage, want)
+			}
+			if st.MS < 0 || st.Spans < 0 {
+				t.Errorf("%s/%s: negative stage row: %+v", row.Bench, st.Stage, st)
+			}
+			if st.Stage == obs.StageTrial.String() && st.MS > 0 {
+				sawTrialTime = true
+			}
+		}
+		if len(row.Obs.Counters) != int(obs.NumCounters) {
+			t.Fatalf("%s: %d counters, want %d", row.Bench, len(row.Obs.Counters), obs.NumCounters)
+		}
+		for c, ct := range row.Obs.Counters {
+			if want := obs.Counter(c).String(); ct.Name != want {
+				t.Errorf("%s: counter[%d] = %q, want %q", row.Bench, c, ct.Name, want)
+			}
+		}
+		if len(row.Obs.Gauges) != int(obs.NumGauges) {
+			t.Fatalf("%s: %d gauges, want %d", row.Bench, len(row.Obs.Gauges), obs.NumGauges)
+		}
+		for g, gg := range row.Obs.Gauges {
+			if want := obs.Gauge(g).String(); gg.Name != want {
+				t.Errorf("%s: gauge[%d] = %q, want %q", row.Bench, g, gg.Name, want)
+			}
+		}
+	}
+	if !sawTrialTime {
+		t.Error("no bench recorded trial-stage time: the baseline was emitted against a broken pipeline")
+	}
+}
+
+// b14aCache generates the b14 analog once for the observer-overhead
+// benchmarks: generation dominates a single Identify and must stay out of
+// the measured loop.
+var b14aCache struct {
+	once sync.Once
+	gen  *bench.Generated
+	err  error
+}
+
+func b14aNetlist(tb testing.TB) *bench.Generated {
+	b14aCache.once.Do(func() {
+		p, ok := bench.ProfileByName("b14a")
+		if !ok {
+			panic("b14a profile missing")
+		}
+		b14aCache.gen, b14aCache.err = p.Generate()
+	})
+	if b14aCache.err != nil {
+		tb.Fatalf("generate b14a: %v", b14aCache.err)
+	}
+	return b14aCache.gen
+}
+
+// BenchmarkObserverOff pins the nil-recorder contract of internal/obs: the
+// pipeline with Observer == nil is the baseline that BenchmarkObserverOn is
+// compared against (acceptance: within ~2% on this bench).
+func BenchmarkObserverOff(b *testing.B) {
+	gen := b14aNetlist(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Identify(gen.NL, core.Options{})
+	}
+}
+
+// BenchmarkObserverOn measures the same pipeline with a live recorder (a
+// fresh one per iteration, as real callers hold one per run).
+func BenchmarkObserverOn(b *testing.B) {
+	gen := b14aNetlist(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Identify(gen.NL, core.Options{Observer: obs.New()})
+	}
+}
+
+// TestIdentifyDeadline pins the cancellation semantics on the b18 analog,
+// the one benchmark long enough to interrupt determinately: an expired
+// deadline returns promptly with Stats.Interrupted set, and the partial
+// word list is a strict prefix of the uninterrupted sequential run — every
+// emitted word is complete, never a half-resolved subgroup.
+func TestIdentifyDeadline(t *testing.T) {
+	p, ok := bench.ProfileByName("b18a")
+	if !ok {
+		t.Fatal("b18a profile missing")
+	}
+	gen, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullStart := time.Now()
+	full := core.Identify(gen.NL, core.Options{})
+	fullElapsed := time.Since(fullStart)
+	if full.Stats.Interrupted {
+		t.Fatal("uninterrupted run marked interrupted")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	partStart := time.Now()
+	part := core.Identify(gen.NL, core.Options{Context: ctx})
+	partElapsed := time.Since(partStart)
+
+	if !part.Stats.Interrupted {
+		t.Fatalf("deadline run not interrupted (took %s, full run %s)", partElapsed, fullElapsed)
+	}
+	// "Promptly": the cancellation check fires per group, subgroup, and
+	// trial, so expiry surfaces within one trial of work — far inside half
+	// the full runtime even on a loaded machine.
+	if partElapsed >= fullElapsed/2 {
+		t.Errorf("interrupted run took %s, want well under half the full run (%s)", partElapsed, fullElapsed)
+	}
+	if len(part.Words) >= len(full.Words) {
+		t.Fatalf("partial run emitted %d words, full run %d — nothing was cut short",
+			len(part.Words), len(full.Words))
+	}
+	for i, w := range part.Words {
+		fw := full.Words[i]
+		if !equalNetSlices(w.Bits, fw.Bits) || w.Verified != fw.Verified {
+			t.Fatalf("word %d diverges from the full run: %+v vs %+v", i, w, fw)
+		}
+	}
+}
+
+func equalNetSlices(a, b []netlist.NetID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	table1 [-paper=false] [-depth N] [-maxassign N] [bench ...]
+//	table1 [-paper=false] [-v] [-depth N] [-maxassign N] [bench ...]
 //
-// With no benchmark arguments every profile (b03a..b18a) runs.
+// With no benchmark arguments every profile (b03a..b18a) runs. -v appends a
+// per-stage wall-time breakdown of the control-signal pipeline (grouping →
+// matching → ctrl-sig discovery → trial loop → verification) per benchmark.
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	depth := flag.Int("depth", 0, "fanin-cone depth (default 4)")
 	maxAssign := flag.Int("maxassign", 0, "max simultaneous control assignments (default 2)")
 	noPartial := flag.Bool("nopartial", false, "disable cohesive partial-group emission (ablation)")
+	verbose := flag.Bool("v", false, "append the per-stage wall-time breakdown of the Ours pipeline per benchmark")
 	flag.Parse()
 
 	opt := core.Options{Depth: *depth, MaxAssign: *maxAssign, NoPartialGroups: *noPartial}
@@ -47,4 +50,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(bench.FormatTable(rows, *withPaper))
+	if *verbose {
+		fmt.Println("\nper-stage breakdown (Ours):")
+		for _, r := range rows {
+			fmt.Printf("%-6s %s\n", r.Name, r.Obs.StageLine())
+		}
+	}
 }

@@ -15,12 +15,21 @@
 //	-eval          score against reference words from register names
 //	-all           print 1-bit words too
 //	-trace         print the pipeline's decision trace
+//	-timeout D     deadline-bound the run; expiry yields a partial result
+//	-statsjson F   write the per-stage observability breakdown to F
+//	-cpuprofile F  write a CPU profile (stage-labeled samples) to F
+//	-memprofile F  write a heap profile to F at exit
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,34 +37,98 @@ import (
 )
 
 func main() {
-	base := flag.Bool("base", false, "run the shape-hashing baseline")
-	fn := flag.Bool("func", false, "run the functional (truth-table) matcher")
-	depth := flag.Int("depth", 0, "fanin-cone depth (default 4)")
-	maxAssign := flag.Int("maxassign", 0, "max simultaneous control assignments (default 2)")
-	eval := flag.Bool("eval", false, "evaluate against golden reference words")
-	all := flag.Bool("all", false, "print single-bit words too")
-	trace := flag.Bool("trace", false, "print the decision trace")
-	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
-	graph := flag.String("graph", "", "write the word-level dataflow graph (after propagation) to this DOT file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wordid [flags] design.v")
-		flag.PrintDefaults()
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wordid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.Bool("base", false, "run the shape-hashing baseline")
+	fn := fs.Bool("func", false, "run the functional (truth-table) matcher")
+	depth := fs.Int("depth", 0, "fanin-cone depth (default 4)")
+	maxAssign := fs.Int("maxassign", 0, "max simultaneous control assignments (default 2)")
+	eval := fs.Bool("eval", false, "evaluate against golden reference words")
+	all := fs.Bool("all", false, "print single-bit words too")
+	trace := fs.Bool("trace", false, "print the decision trace")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	graph := fs.String("graph", "", "write the word-level dataflow graph (after propagation) to this DOT file")
+	timeout := fs.Duration("timeout", 0, "bound the identification wall time; on expiry a partial result is reported with interrupted set")
+	statsJSON := fs.String("statsjson", "", "write the per-stage timing/counter breakdown as JSON to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (samples carry per-stage pprof labels)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	d, err := gatewords.ParseVerilogFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: wordid [flags] design.v")
+		fs.PrintDefaults()
+		return 2
+	}
+	// The observability and pipeline-control flags only act on the default
+	// control-signal technique; silently accepting them alongside -base or
+	// -func would report a run that never happened.
+	if *base || *fn {
+		for _, ignored := range []struct {
+			set  bool
+			name string
+		}{
+			{*trace, "-trace"},
+			{*timeout != 0, "-timeout"},
+			{*statsJSON != "", "-statsjson"},
+		} {
+			if ignored.set {
+				fmt.Fprintf(stderr, "wordid: warning: %s has no effect with -base/-func; ignoring\n", ignored.name)
+			}
+		}
+	}
+	d, err := gatewords.ParseVerilogFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wordid: %v\n", err)
+		return 1
 	}
 	if !*jsonOut {
 		st := d.Stats()
-		fmt.Printf("%s: %d nets, %d gates, %d flip-flops, %d PIs, %d POs\n",
+		fmt.Fprintf(stdout, "%s: %d nets, %d gates, %d flip-flops, %d PIs, %d POs\n",
 			d.Name(), st.Nets, st.Gates, st.DFFs, st.PIs, st.POs)
 	}
-	start := time.Now()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "wordid: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "wordid: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "wordid: closing %s: %v\n", *cpuProfile, err)
+			}
+		}()
+	}
+
+	var observer *gatewords.Observer
+	if *statsJSON != "" || (*cpuProfile != "" && !*base && !*fn) {
+		observer = gatewords.NewObserver()
+		if *cpuProfile != "" {
+			// Stage labels cost an allocation per region; pay it only while
+			// the profile that consumes them is actually being taken.
+			observer.EnableProfileLabels()
+		}
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
 	var rep *gatewords.Report
 	switch {
 	case *base:
@@ -67,28 +140,47 @@ func main() {
 			Depth:     *depth,
 			MaxAssign: *maxAssign,
 			Trace:     *trace,
+			Context:   ctx,
+			Observer:  observer,
 		})
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wordid: %v\n", err)
+		return 1
 	}
 	elapsed := time.Since(start)
+	if rep.Interrupted {
+		fmt.Fprintf(stderr, "wordid: interrupted after %s (-timeout %s): reporting the partial result\n",
+			elapsed.Round(time.Millisecond), *timeout)
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, observer); err != nil {
+			fmt.Fprintf(stderr, "wordid: %v\n", err)
+			return 1
+		}
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(stderr, "wordid: %v\n", err)
+			}
+		}()
+	}
 	if *jsonOut {
 		var evp *gatewords.Evaluation
 		if *eval {
 			ev := gatewords.Evaluate(d, rep)
 			evp = &ev
 		}
-		if err := gatewords.WriteJSON(os.Stdout, d, rep, evp, *all, elapsed); err != nil {
-			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
-			os.Exit(1)
+		if err := gatewords.WriteJSON(stdout, d, rep, evp, *all, elapsed); err != nil {
+			fmt.Fprintf(stderr, "wordid: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
-	if *trace {
+	if *trace && !*base && !*fn {
 		for _, line := range rep.Trace {
-			fmt.Println("#", line)
+			fmt.Fprintln(stdout, "#", line)
 		}
 	}
 
@@ -96,7 +188,7 @@ func main() {
 	if !*all {
 		words = rep.MultiBitWords()
 	}
-	fmt.Printf("technique %s: %d words\n", rep.Technique, len(words))
+	fmt.Fprintf(stdout, "technique %s: %d words\n", rep.Technique, len(words))
 	for _, w := range words {
 		mark := " "
 		if w.Verified {
@@ -114,34 +206,69 @@ func main() {
 			}
 			line += "  [controls: " + strings.Join(assigns, ", ") + "]"
 		}
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 	if len(rep.ControlSignalsUsed) > 0 {
-		fmt.Printf("control signals used: %s\n", strings.Join(rep.ControlSignalsUsed, ", "))
+		fmt.Fprintf(stdout, "control signals used: %s\n", strings.Join(rep.ControlSignalsUsed, ", "))
 	}
 
 	if *eval {
 		ev := gatewords.Evaluate(d, rep)
-		fmt.Printf("reference words: %d  fully found: %d (%.1f%%)  partially found: %d (frag %.2f)  not found: %d (%.1f%%)\n",
+		fmt.Fprintf(stdout, "reference words: %d  fully found: %d (%.1f%%)  partially found: %d (frag %.2f)  not found: %d (%.1f%%)\n",
 			ev.ReferenceWords, ev.FullyFound, ev.FullyFoundPct,
 			ev.PartiallyFound, ev.FragmentationRate, ev.NotFound, ev.NotFoundPct)
 	}
 
 	if *graph != "" {
-		var graphWords [][]string
-		for _, pw := range gatewords.Propagate(d, rep, gatewords.PropagateOptions{}) {
-			graphWords = append(graphWords, pw.Bits)
+		if err := writeGraph(*graph, d, rep); err != nil {
+			fmt.Fprintf(stderr, "wordid: %v\n", err)
+			return 1
 		}
-		f, err := os.Create(*graph)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
-			os.Exit(1)
-		}
-		if err := gatewords.WriteWordGraphDOT(f, d, graphWords); err != nil {
-			fmt.Fprintf(os.Stderr, "wordid: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %s\n", *graph)
+		fmt.Fprintf(stdout, "wrote %s\n", *graph)
 	}
+	return 0
+}
+
+// writeGraph renders the propagated word-level dataflow graph to a DOT file.
+// The Close error is checked: on a full disk the final flush is where the
+// write failure surfaces, and ignoring it would leave a silently truncated
+// graph behind a success exit code.
+func writeGraph(path string, d *gatewords.Design, rep *gatewords.Report) error {
+	var graphWords [][]string
+	for _, pw := range gatewords.Propagate(d, rep, gatewords.PropagateOptions{}) {
+		graphWords = append(graphWords, pw.Bits)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gatewords.WriteWordGraphDOT(f, d, graphWords); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeStatsJSON(path string, observer *gatewords.Observer) error {
+	data, err := json.MarshalIndent(observer, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize a settled heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

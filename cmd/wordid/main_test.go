@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../testdata/counter_style.v"
+
+func runWordid(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestTraceWarnsWhenIgnored pins the fix for -trace being silently ignored:
+// the flag only drives the control-signal pipeline, so combining it with
+// -base or -func must say so instead of quietly dropping it.
+func TestTraceWarnsWhenIgnored(t *testing.T) {
+	for _, technique := range []string{"-base", "-func"} {
+		code, _, stderr := runWordid(t, technique, "-trace", fixture)
+		if code != 0 {
+			t.Fatalf("%s -trace: exit %d\n%s", technique, code, stderr)
+		}
+		if !strings.Contains(stderr, "-trace") || !strings.Contains(stderr, "no effect") {
+			t.Errorf("%s -trace: missing ignored-flag warning, stderr:\n%s", technique, stderr)
+		}
+	}
+	// The default technique must stay warning-free.
+	if code, _, stderr := runWordid(t, "-trace", fixture); code != 0 || strings.Contains(stderr, "no effect") {
+		t.Errorf("default -trace: exit %d, stderr:\n%s", code, stderr)
+	}
+	// -timeout and -statsjson are ignored the same way and warn the same way.
+	code, _, stderr := runWordid(t, "-base", "-timeout", "1s", "-statsjson", filepath.Join(t.TempDir(), "s.json"), fixture)
+	if code != 0 || !strings.Contains(stderr, "-timeout") || !strings.Contains(stderr, "-statsjson") {
+		t.Errorf("-base -timeout -statsjson: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestGraphWriteSucceeds covers the happy path of -graph: file written,
+// success exit, and DOT content present.
+func TestGraphWriteSucceeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "words.dot")
+	code, stdout, stderr := runWordid(t, "-graph", path, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+path) {
+		t.Errorf("stdout missing write confirmation:\n%s", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("digraph")) {
+		t.Errorf("graph file is not DOT:\n%s", data)
+	}
+}
+
+// TestGraphWriteFailureIsAnError pins the fix for the ignored f.Close()
+// error: a write failure on the DOT file (here: /dev/full, where buffered
+// data dies at close/write time) must fail the run instead of printing
+// "wrote" over a truncated file.
+func TestGraphWriteFailureIsAnError(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("/dev/full is a Linux fixture")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	code, stdout, stderr := runWordid(t, "-graph", "/dev/full", fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "wrote") {
+		t.Errorf("claimed success on a failed write:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "wordid:") {
+		t.Errorf("missing error report:\n%s", stderr)
+	}
+}
+
+// TestStatsJSON drives -statsjson end to end: the file must be valid JSON
+// holding the per-stage breakdown with the trial stage populated.
+func TestStatsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	code, _, stderr := runWordid(t, "-statsjson", path, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Stages []struct {
+			Stage string  `json:"stage"`
+			MS    float64 `json:"ms"`
+			Spans int64   `json:"spans"`
+		} `json:"stages"`
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid stats JSON: %v\n%s", err, data)
+	}
+	if len(doc.Stages) == 0 {
+		t.Fatalf("no stages in stats JSON:\n%s", data)
+	}
+	byName := map[string]int64{}
+	for _, s := range doc.Stages {
+		byName[s.Stage] = s.Spans
+	}
+	if byName["group"] != 1 {
+		t.Errorf("group stage spans = %d, want 1", byName["group"])
+	}
+	if byName["trial"] == 0 {
+		t.Error("trial stage recorded no spans on a design with control-signal trials")
+	}
+	trials := int64(-1)
+	for _, c := range doc.Counters {
+		if c.Name == "trials" {
+			trials = c.Value
+		}
+	}
+	if trials <= 0 {
+		t.Errorf("trials counter = %d, want > 0", trials)
+	}
+}
+
+// TestTimeoutFlagAccepted checks the plumbing of -timeout on a design small
+// enough to finish instantly: the run completes, is not marked interrupted,
+// and exits 0. (Deadline expiry semantics are pinned at the library level on
+// the b18 analog, where the run is long enough to interrupt determinately.)
+func TestTimeoutFlagAccepted(t *testing.T) {
+	code, stdout, stderr := runWordid(t, "-timeout", "1m", "-json", fixture)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "interrupted") {
+		t.Errorf("1m timeout must not interrupt a trivial design:\n%s", stderr)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc["interrupted"] != nil {
+		t.Errorf("interrupted = %v in JSON, want omitted", doc["interrupted"])
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	code, _, stderr := runWordid(t, "-cpuprofile", cpu, "-memprofile", mem, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	// The CPU profile is finalized by the deferred StopCPUProfile inside
+	// run(), so both files must exist and be non-empty by now.
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

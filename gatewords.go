@@ -21,6 +21,7 @@
 package gatewords
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"gatewords/internal/logic"
 	"gatewords/internal/metrics"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 	"gatewords/internal/reduce"
 	"gatewords/internal/refwords"
 	"gatewords/internal/shapehash"
@@ -182,6 +184,15 @@ type Options struct {
 	// every control-signal reduction backing an emitted word rewrote each
 	// bit's cone soundly. Outcomes appear in Report.ReductionVerification.
 	VerifyReduction bool
+	// Context, when non-nil, bounds the run: cancellation or deadline expiry
+	// is honored cooperatively at group, subgroup, and trial granularity.
+	// An interrupted run still returns a Report — the words completed so far,
+	// never a truncated word — with Report.Interrupted set.
+	Context context.Context
+	// Observer, when non-nil, collects per-stage wall times, work counters,
+	// and peak gauges across the run (and across runs, if reused). Leaving
+	// it nil costs nothing on the identification hot path.
+	Observer *Observer
 }
 
 func (o Options) toCore() core.Options {
@@ -194,8 +205,51 @@ func (o Options) toCore() core.Options {
 		CollectTrace:    o.Trace,
 		Workers:         o.Workers,
 		VerifyReduction: o.VerifyReduction,
+		Context:         o.Context,
+		Observer:        o.Observer.recorder(),
 	}
 }
+
+// Observer accumulates pipeline observability: wall time per stage
+// (grouping, matching, control-signal discovery, the trial/reduce loop,
+// verification), work counters (trials, reductions, propagation visits, SAT
+// effort), and peak gauges. One Observer may be shared across sequential
+// Identify calls to aggregate them; parallel runs merge per-worker recorders
+// into it deterministically.
+type Observer struct {
+	rec *obs.Recorder
+}
+
+// NewObserver returns an empty Observer.
+func NewObserver() *Observer { return &Observer{rec: obs.New()} }
+
+// EnableProfileLabels makes the observed pipeline label each stage region
+// with a stage=<name> pprof goroutine label, so CPU-profile samples split by
+// stage (`go tool pprof -tagfocus stage=trial`). Enable it only while a CPU
+// profile is being taken — each labeled region allocates.
+func (o *Observer) EnableProfileLabels() {
+	if o != nil {
+		o.rec.EnableProfileLabels()
+	}
+}
+
+func (o *Observer) recorder() *obs.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.rec
+}
+
+// WriteText renders the collected breakdown in aligned human-readable form.
+func (o *Observer) WriteText(w io.Writer) error { return o.recorder().WriteText(w) }
+
+// MarshalJSON renders the breakdown as deterministic JSON (stages, counters,
+// and gauges as arrays in a fixed order).
+func (o *Observer) MarshalJSON() ([]byte, error) { return o.recorder().MarshalJSON() }
+
+// StageLine renders the per-stage time split on one line
+// ("group=0.1ms match=2.3ms ...").
+func (o *Observer) StageLine() string { return o.recorder().StageLine() }
 
 // Word is one identified word.
 type Word struct {
@@ -221,7 +275,10 @@ type Report struct {
 	// ReductionVerification summarizes cone-equivalence proofs when
 	// Options.VerifyReduction is set; nil otherwise.
 	ReductionVerification *ReductionVerification
-	Trace                 []string
+	// Interrupted reports that Options.Context was cancelled (or timed out)
+	// before identification finished; the report holds the partial output.
+	Interrupted bool
+	Trace       []string
 }
 
 // ReductionVerification reports the soundness proof of the reductions behind
@@ -265,7 +322,7 @@ func Identify(d *Design, opt Options) (*Report, error) {
 		return nil, err
 	}
 	res := core.Identify(d.nl, opt.toCore())
-	rep := &Report{Technique: "control-signals", Trace: res.Trace}
+	rep := &Report{Technique: "control-signals", Trace: res.Trace, Interrupted: res.Stats.Interrupted}
 	for _, w := range res.Words {
 		rep.Words = append(rep.Words, d.coreWord(w))
 	}

@@ -7,6 +7,7 @@ import (
 
 	"gatewords/internal/core"
 	"gatewords/internal/metrics"
+	"gatewords/internal/obs"
 	"gatewords/internal/shapehash"
 )
 
@@ -28,6 +29,11 @@ type Row struct {
 	// counts all relevant signals identified.
 	CtrlUsed  int
 	CtrlFound int
+	// Obs holds the Ours run's per-stage observability (grouping, matching,
+	// control-signal discovery, trial loop, verification). Always collected:
+	// at harness granularity the recorder's cost is noise, and cmd/table1 -v
+	// renders it as the per-stage breakdown column.
+	Obs *obs.Recorder
 }
 
 // Run generates the profile and evaluates both techniques on it.
@@ -62,8 +68,13 @@ func Measure(gen *Generated, opt core.Options) Row {
 	row.BaseTime = time.Since(start)
 	row.Base = metrics.Evaluate(gen.Refs, base.Words)
 
+	oursOpt := opt
+	if oursOpt.Observer == nil {
+		oursOpt.Observer = obs.New()
+	}
+	row.Obs = oursOpt.Observer
 	start = time.Now()
-	ours := core.Identify(gen.NL, opt)
+	ours := core.Identify(gen.NL, oursOpt)
 	row.OursTime = time.Since(start)
 	row.Ours = metrics.Evaluate(gen.Refs, ours.GeneratedWords())
 	row.CtrlUsed = len(ours.UsedControlSignals)

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"gatewords/internal/group"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 	"gatewords/internal/reduce"
 )
 
@@ -80,6 +82,18 @@ type Options struct {
 	// VerifyMaxConflicts bounds the per-cone SAT effort when VerifyReduction
 	// is on (0 = the eqcheck default; negative disables the SAT stage).
 	VerifyMaxConflicts int
+	// Context, when non-nil, bounds the run: cancellation (or a deadline) is
+	// checked cooperatively at group, subgroup, and trial granularity. An
+	// interrupted run returns the words emitted so far — every emitted word
+	// is complete, never a half-merged subgroup — with Stats.Interrupted set.
+	Context context.Context
+	// Observer, when non-nil, receives per-stage wall times, work counters,
+	// and peak gauges (see internal/obs). In parallel runs each worker
+	// records into a private per-group recorder; the per-group recorders are
+	// merged into Observer in group order, so the observed totals (and the
+	// Result) are independent of worker scheduling. A nil Observer costs
+	// nothing on the hot path.
+	Observer *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +156,10 @@ type Stats struct {
 	ConesProved  int // rewritten cones proved equivalent to their originals
 	ConesRefuted int // cones with a counterexample — a soundness bug
 	ConesUnknown int // cones the SAT budget could not decide
+	// Interrupted reports that Options.Context was cancelled (or its
+	// deadline expired) before the pipeline finished: the Result is the
+	// partial output accumulated up to the interruption point.
+	Interrupted bool
 }
 
 // ReductionCheck itemizes one reduction-verification anomaly: a rewritten
@@ -185,7 +203,10 @@ func (r *Result) GeneratedWords() [][]netlist.NetID {
 // Identify runs the full pipeline on nl.
 func Identify(nl *netlist.Netlist, opt Options) *Result {
 	opt = opt.withDefaults()
-	groups := group.Adjacent(nl, group.Options{DFFInputsOnly: opt.DFFInputsOnly})
+	var groups [][]netlist.NetID
+	opt.Observer.Do(opt.Context, obs.StageGroup, func() {
+		groups = group.Adjacent(nl, group.Options{DFFInputsOnly: opt.DFFInputsOnly})
+	})
 
 	workers := opt.Workers
 	if workers < 0 {
@@ -198,6 +219,9 @@ func Identify(nl *netlist.Netlist, opt Options) *Result {
 	p := newPipeline(nl, opt)
 	p.result.Stats.Groups = len(groups)
 	for _, g := range groups {
+		if p.cancelled() {
+			break
+		}
 		p.processGroup(g)
 	}
 	p.result.UsedControlSignals = sortedNets(p.used)
@@ -209,6 +233,7 @@ func newPipeline(nl *netlist.Netlist, opt Options) *pipeline {
 	p := &pipeline{
 		nl:     nl,
 		opt:    opt,
+		rec:    opt.Observer,
 		it:     cone.NewInterner(),
 		used:   make(map[netlist.NetID]bool),
 		found:  make(map[netlist.NetID]bool),
@@ -220,10 +245,16 @@ func newPipeline(nl *netlist.Netlist, opt Options) *pipeline {
 
 // identifyParallel fans adjacency groups out over a worker pool. Each
 // worker owns a private interner/builder (hash keys are only ever compared
-// within a group), and per-group results are merged in group order so the
-// output matches the sequential pipeline exactly.
+// within a group), and per-group results — and per-group observer recorders —
+// are merged in group order so the output matches the sequential pipeline
+// exactly regardless of worker scheduling.
 func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID, workers int) *Result {
+	parent := opt.Observer
 	perGroup := make([]*Result, len(groups))
+	var perRec []*obs.Recorder
+	if parent != nil {
+		perRec = make([]*obs.Recorder, len(groups))
+	}
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -231,8 +262,18 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 		go func() {
 			defer wg.Done()
 			for gi := range work {
-				p := newPipeline(nl, opt)
-				p.processGroup(groups[gi])
+				gopt := opt
+				if parent != nil {
+					perRec[gi] = obs.New()
+					if parent.ProfileLabelsEnabled() {
+						perRec[gi].EnableProfileLabels()
+					}
+					gopt.Observer = perRec[gi]
+				}
+				p := newPipeline(nl, gopt)
+				if !p.cancelled() {
+					p.processGroup(groups[gi])
+				}
 				p.result.UsedControlSignals = sortedNets(p.used)
 				p.result.FoundControlSignals = sortedNets(p.found)
 				perGroup[gi] = p.result
@@ -249,7 +290,7 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 	merged.Stats.Groups = len(groups)
 	used := make(map[netlist.NetID]bool)
 	found := make(map[netlist.NetID]bool)
-	for _, r := range perGroup {
+	for gi, r := range perGroup {
 		merged.Words = append(merged.Words, r.Words...)
 		merged.Trace = append(merged.Trace, r.Trace...)
 		merged.Stats.Subgroups += r.Stats.Subgroups
@@ -261,12 +302,16 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 		merged.Stats.ConesProved += r.Stats.ConesProved
 		merged.Stats.ConesRefuted += r.Stats.ConesRefuted
 		merged.Stats.ConesUnknown += r.Stats.ConesUnknown
+		merged.Stats.Interrupted = merged.Stats.Interrupted || r.Stats.Interrupted
 		merged.ReductionChecks = append(merged.ReductionChecks, r.ReductionChecks...)
 		for _, n := range r.UsedControlSignals {
 			used[n] = true
 		}
 		for _, n := range r.FoundControlSignals {
 			found[n] = true
+		}
+		if parent != nil {
+			parent.Merge(perRec[gi])
 		}
 	}
 	merged.UsedControlSignals = sortedNets(used)
@@ -277,6 +322,7 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 type pipeline struct {
 	nl     *netlist.Netlist
 	opt    Options
+	rec    *obs.Recorder // nil disables observation at ~zero cost
 	it     *cone.Interner
 	b      *cone.Builder
 	ov     *cone.Overlay // lazily created, reused across assignment trials
@@ -291,33 +337,64 @@ func (p *pipeline) tracef(format string, args ...any) {
 	}
 }
 
+// cancelled reports whether Options.Context has been cancelled, latching
+// Stats.Interrupted on the first observation. It is the single cooperative
+// cancellation check, consulted before each group, each subgroup, and each
+// assignment trial.
+func (p *pipeline) cancelled() bool {
+	if p.opt.Context == nil {
+		return false
+	}
+	if p.result.Stats.Interrupted {
+		return true
+	}
+	if p.opt.Context.Err() != nil {
+		p.result.Stats.Interrupted = true
+		return true
+	}
+	return false
+}
+
 // processGroup forms subgroups by sequential full-or-partial matching
-// (§2.3) and resolves each.
+// (§2.3), then resolves each. Matching is completed for the whole group
+// before any subgroup is resolved so the match work is attributed to its own
+// stage and so cancellation between subgroups never abandons a half-matched
+// one.
 func (p *pipeline) processGroup(nets []netlist.NetID) {
-	var bits []*cone.BitCone
-	flush := func() {
-		if len(bits) > 0 {
-			p.result.Stats.Subgroups++
-			p.resolveSubgroup(bits)
-			bits = nil
+	var subgroups [][]*cone.BitCone
+	p.rec.Do(p.opt.Context, obs.StageMatch, func() {
+		var bits []*cone.BitCone
+		flush := func() {
+			if len(bits) > 0 {
+				subgroups = append(subgroups, bits)
+				bits = nil
+			}
 		}
+		var prev *cone.BitCone
+		for _, net := range nets {
+			bc := p.b.Bit(net)
+			if bc == nil {
+				flush()
+				prev = nil
+				continue
+			}
+			p.result.Stats.CandidateBits++
+			if prev != nil && !cone.FullMatch(prev, bc) && !cone.PartialMatch(prev, bc) {
+				flush()
+			}
+			bits = append(bits, bc)
+			prev = bc
+		}
+		flush()
+	})
+	for _, sg := range subgroups {
+		if p.cancelled() {
+			return
+		}
+		p.result.Stats.Subgroups++
+		p.rec.Max(obs.GaugeSubgroupBits, int64(len(sg)))
+		p.resolveSubgroup(sg)
 	}
-	var prev *cone.BitCone
-	for _, net := range nets {
-		bc := p.b.Bit(net)
-		if bc == nil {
-			flush()
-			prev = nil
-			continue
-		}
-		p.result.Stats.CandidateBits++
-		if prev != nil && !cone.FullMatch(prev, bc) && !cone.PartialMatch(prev, bc) {
-			flush()
-		}
-		bits = append(bits, bc)
-		prev = bc
-	}
-	flush()
 }
 
 // resolveSubgroup turns one subgroup of partially/fully matching bits into
@@ -339,7 +416,11 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		return
 	}
 
-	signals := ctrlsig.Find(p.nl, p.b, dissim, p.opt.Depth-1)
+	var signals []ctrlsig.Signal
+	p.rec.Do(p.opt.Context, obs.StageCtrlSig, func() {
+		signals = ctrlsig.Find(p.nl, p.b, dissim, p.opt.Depth-1)
+	})
+	p.rec.Max(obs.GaugeControlSignals, int64(len(signals)))
 	if len(signals) > p.opt.MaxControlSignals {
 		signals = signals[:p.opt.MaxControlSignals]
 	}
@@ -360,29 +441,38 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 
 	trials := 0
 	stop := false
-	p.forEachAssignment(signals, func(assign map[netlist.NetID]logic.Value) bool {
-		if stop || trials >= p.opt.MaxTrials {
-			return false
-		}
-		trials++
-		p.result.Stats.Trials++
-		tr := p.tryAssignment(bits, scope, assign)
-		if tr == nil {
-			p.tracef("subgroup %s: trial %s infeasible", p.nl.NetName(bits[0].Net), p.formatAssign(assign))
+	p.rec.Do(p.opt.Context, obs.StageTrial, func() {
+		p.forEachAssignment(signals, func(assign map[netlist.NetID]logic.Value) bool {
+			if stop || trials >= p.opt.MaxTrials || p.cancelled() {
+				return false
+			}
+			trials++
+			p.result.Stats.Trials++
+			p.rec.Add(obs.CtrTrials, 1)
+			tr := p.tryAssignment(bits, scope, assign)
+			if tr == nil {
+				p.tracef("subgroup %s: trial %s infeasible", p.nl.NetName(bits[0].Net), p.formatAssign(assign))
+				return true
+			}
+			p.tracef("subgroup %s: trial %s -> max class %d/%d", p.nl.NetName(bits[0].Net), p.formatAssign(assign), tr.maxClass, len(bits))
+			if tr.maxClass == len(bits) {
+				bestTrial = tr
+				stop = true
+				return false
+			}
+			if tr.maxClass > bestSize {
+				bestSize = tr.maxClass
+				bestTrial = tr
+			}
 			return true
-		}
-		p.tracef("subgroup %s: trial %s -> max class %d/%d", p.nl.NetName(bits[0].Net), p.formatAssign(assign), tr.maxClass, len(bits))
-		if tr.maxClass == len(bits) {
-			bestTrial = tr
-			stop = true
-			return false
-		}
-		if tr.maxClass > bestSize {
-			bestSize = tr.maxClass
-			bestTrial = tr
-		}
-		return true
+		})
 	})
+	if p.result.Stats.Interrupted {
+		// Cancelled mid-trial-loop: the subgroup's exploration is incomplete,
+		// so emit nothing for it — a partial Result never contains a word
+		// whose evidence was cut short.
+		return
+	}
 
 	if bestTrial != nil && bestTrial.maxClass == len(bits) {
 		// The assignment made every bit fully similar: one verified word.
@@ -394,7 +484,7 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		p.tracef("subgroup %s: verified %d-bit word via assignment %s",
 			p.nl.NetName(bits[0].Net), len(bits), p.formatAssign(bestTrial.assign))
 		if p.opt.VerifyReduction {
-			p.verifyTrial(bits, bestTrial)
+			p.rec.Do(p.opt.Context, obs.StageVerify, func() { p.verifyTrial(bits, bestTrial) })
 		}
 		p.emit(Word{Bits: bitNets(bits), Verified: true, Controls: ctrls, Assignment: bestTrial.assign})
 		return
@@ -442,7 +532,7 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 				}
 			}
 			if len(vbits) > 0 {
-				p.verifyTrial(vbits, bestTrial)
+				p.rec.Do(p.opt.Context, obs.StageVerify, func() { p.verifyTrial(vbits, bestTrial) })
 			}
 		}
 	}
@@ -489,7 +579,7 @@ func (p *pipeline) verifyTrial(bits []*cone.BitCone, tr *trialResult) {
 	for i, bc := range bits {
 		roots[i] = bc.Net
 	}
-	vr := tr.red.VerifyCones(roots, p.opt.Depth, eqcheck.Options{MaxConflicts: p.opt.VerifyMaxConflicts})
+	vr := tr.red.VerifyCones(roots, p.opt.Depth, eqcheck.Options{MaxConflicts: p.opt.VerifyMaxConflicts, Observer: p.rec})
 	p.result.Stats.ConesProved += vr.Proved
 	p.result.Stats.ConesRefuted += vr.Refuted
 	p.result.Stats.ConesUnknown += vr.Unknown
@@ -536,12 +626,13 @@ func (p *pipeline) subgroupScope(bits []*cone.BitCone) map[netlist.NetID]bool {
 // confined to the subgroup's cone scope, so trial cost is bounded by the
 // subgroup's cones, not by the size of the reduced region.
 func (p *pipeline) tryAssignment(bits []*cone.BitCone, scope map[netlist.NetID]bool, assign map[netlist.NetID]logic.Value) *trialResult {
-	red, err := reduce.Apply(p.nl, assign)
+	red, err := reduce.ApplyObserved(p.nl, assign, p.rec)
 	if err != nil {
 		p.tracef("reduce conflict: %v", err)
 		return nil
 	}
 	p.result.Stats.Reductions++
+	p.rec.Add(obs.CtrReductions, 1)
 	dist := red.DirtyDistancesIn(scope, p.opt.Depth-1)
 	if p.ov == nil {
 		p.ov = p.b.Overlay(red, dist)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 )
 
 // bigNet stitches several independent word structures together so there are
@@ -48,9 +50,14 @@ func pickKind(i int) logic.Kind {
 
 func TestParallelMatchesSequential(t *testing.T) {
 	nl := bigNet(t)
-	seq := Identify(nl, Options{})
-	for _, workers := range []int{2, 4, -1} {
-		par := Identify(nl, Options{Workers: workers})
+	seqRec := obs.New()
+	seq := Identify(nl, Options{Observer: seqRec})
+	if seq.Stats.Interrupted {
+		t.Fatal("sequential run without a context marked interrupted")
+	}
+	for _, workers := range []int{2, 4, 8, -1} {
+		parRec := obs.New()
+		par := Identify(nl, Options{Workers: workers, Observer: parRec})
 		if !reflect.DeepEqual(seq.GeneratedWords(), par.GeneratedWords()) {
 			t.Fatalf("workers=%d: words differ", workers)
 		}
@@ -60,10 +67,47 @@ func TestParallelMatchesSequential(t *testing.T) {
 		if !reflect.DeepEqual(seq.FoundControlSignals, par.FoundControlSignals) {
 			t.Fatalf("workers=%d: found control signals differ", workers)
 		}
-		if seq.Stats.Subgroups != par.Stats.Subgroups ||
-			seq.Stats.CandidateBits != par.Stats.CandidateBits ||
-			seq.Stats.ReducedWords != par.Stats.ReducedWords {
-			t.Fatalf("workers=%d: stats differ: %+v vs %+v", workers, seq.Stats, par.Stats)
+		// The full Stats struct — including Interrupted and the verification
+		// counters — must match the sequential run exactly: parallel merging
+		// is in group order and groups are independent.
+		if seq.Stats != par.Stats {
+			t.Fatalf("workers=%d: stats differ:\nseq %+v\npar %+v", workers, seq.Stats, par.Stats)
+		}
+		// The merged observer must agree with the sequential one on
+		// everything deterministic: work counters, peak gauges, and span
+		// counts. (Stage wall times are scheduling-dependent and excluded.)
+		for c := obs.Counter(0); c < obs.NumCounters; c++ {
+			if seqRec.Count(c) != parRec.Count(c) {
+				t.Errorf("workers=%d: counter %s = %d, seq %d", workers, c, parRec.Count(c), seqRec.Count(c))
+			}
+		}
+		for g := obs.Gauge(0); g < obs.NumGauges; g++ {
+			if seqRec.GaugeValue(g) != parRec.GaugeValue(g) {
+				t.Errorf("workers=%d: gauge %s = %d, seq %d", workers, g, parRec.GaugeValue(g), seqRec.GaugeValue(g))
+			}
+		}
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			if seqRec.StageSpans(s) != parRec.StageSpans(s) {
+				t.Errorf("workers=%d: stage %s spans = %d, seq %d", workers, s, parRec.StageSpans(s), seqRec.StageSpans(s))
+			}
+		}
+	}
+}
+
+// TestParallelCancelledContext pins cancellation in the fan-out path: a
+// context cancelled before the run starts yields an empty, interrupted
+// Result from both the sequential and the parallel pipeline.
+func TestParallelCancelledContext(t *testing.T) {
+	nl := bigNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{0, 2, 8} {
+		res := Identify(nl, Options{Workers: workers, Context: ctx, Observer: obs.New()})
+		if !res.Stats.Interrupted {
+			t.Fatalf("workers=%d: cancelled run not marked interrupted", workers)
+		}
+		if len(res.Words) != 0 {
+			t.Fatalf("workers=%d: cancelled-before-start run emitted %d words", workers, len(res.Words))
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"gatewords/internal/aig"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 )
 
 // Verdict is the outcome of an equivalence check.
@@ -70,6 +71,10 @@ type Options struct {
 	// MaxConflicts bounds the DPLL search; exceeding it yields Unknown.
 	// 0 means DefaultMaxConflicts; negative skips the SAT stage.
 	MaxConflicts int
+	// Observer, when non-nil, accumulates each query's work — simulation
+	// rounds and the SAT budget actually consumed (decisions, propagations,
+	// conflicts) — into the recorder (see internal/obs). Nil costs nothing.
+	Observer *obs.Recorder
 }
 
 func (o Options) simRounds() int {
@@ -167,8 +172,20 @@ func (r *splitmix64) next() uint64 {
 // Solve decides satisfiability of literal l in g: it looks for an input
 // assignment making l true. It runs the same staged pipeline as the
 // equivalence check (constant fold → random simulation, which can only answer
-// Sat → SAT solver).
+// Sat → SAT solver). Each query's stage work reports into opt.Observer.
 func Solve(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
+	sr := solveStaged(g, l, opt)
+	if rec := opt.Observer; rec != nil {
+		rec.Add(obs.CtrEqChecks, 1)
+		rec.Add(obs.CtrSimRounds, int64(sr.Stats.SimRounds))
+		rec.Add(obs.CtrSATDecisions, int64(sr.Stats.Decisions))
+		rec.Add(obs.CtrSATPropagations, int64(sr.Stats.Propagations))
+		rec.Add(obs.CtrSATConflicts, int64(sr.Stats.Conflicts))
+	}
+	return sr
+}
+
+func solveStaged(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
 	switch l {
 	case aig.False:
 		return SolveResult{Status: Unsat, Stage: "strash"}

@@ -80,12 +80,20 @@ func pct(n, d int) float64 {
 // that contains that net. Bits not covered by any generated word are treated
 // as singleton generated words of their own (a technique that says nothing
 // about a net has implicitly left it ungrouped).
+//
+// A net appearing in more than one generated word is attributed to the FIRST
+// generated word containing it, in emission order. This tie-break is
+// deliberate, not incidental: emission order is the pipeline's confidence
+// order (a subgroup's verified word is emitted before later, weaker
+// regroupings touch the same nets), and scoring must not double-count a bit
+// toward two words. Callers comparing techniques should emit their most
+// trusted words first.
 func Evaluate(refs []refwords.Word, generated [][]netlist.NetID) Report {
 	wordOf := make(map[netlist.NetID]int)
 	for wi, w := range generated {
 		for _, n := range w {
 			if _, dup := wordOf[n]; !dup {
-				wordOf[n] = wi
+				wordOf[n] = wi // first in emission order wins
 			}
 		}
 	}
@@ -110,15 +118,35 @@ func Evaluate(refs []refwords.Word, generated [][]netlist.NetID) Report {
 	return rep
 }
 
+// scoreWord classifies one reference word. The paper defines the outcomes
+// for words of two or more bits (the only kind its §3 evaluation extracts:
+// reference registers have at least two bits), where the conditions
+// "fragments == 1" (fully found) and "fragments == len(bits)" (not found)
+// are mutually exclusive. The degenerate sizes need a convention, fixed and
+// pinned here so the switch is unambiguous:
+//
+//   - 0 bits: NotFound. There is no evidence to score, and the paper's
+//     fragmentation (fragments / word size) would divide by zero — an empty
+//     word is reported as not found with zero fragmentation rather than
+//     poisoning the aggregate rate with NaN.
+//   - 1 bit: FullyFound exactly when the bit lies in a REAL generated word,
+//     NotFound when no generated word covers it. For 1-bit words the two
+//     paper conditions hold simultaneously; the discriminating question is
+//     the paper's own "did the technique learn anything": a covered bit was
+//     grouped by the technique, an uncovered bit (scored via a synthetic
+//     singleton) was not.
 func scoreWord(ref refwords.Word, wordOf map[netlist.NetID]int, nGenerated int) WordResult {
 	counts := make(map[int]int) // generated word -> #ref bits inside
 	fragments := 0
+	covered := 0            // bits found in a real (non-synthetic) generated word
 	singleton := nGenerated // synthetic IDs for uncovered bits
 	for _, bit := range ref.Bits {
 		gw, ok := wordOf[bit]
 		if !ok {
 			gw = singleton
 			singleton++
+		} else {
+			covered++
 		}
 		if counts[gw] == 0 {
 			fragments++
@@ -127,7 +155,15 @@ func scoreWord(ref refwords.Word, wordOf map[netlist.NetID]int, nGenerated int) 
 	}
 	res := WordResult{Ref: ref, Fragments: fragments}
 	switch {
-	case fragments == 1 && len(ref.Bits) > 0:
+	case len(ref.Bits) == 0:
+		res.Outcome = NotFound
+	case len(ref.Bits) == 1:
+		if covered == 1 {
+			res.Outcome = FullyFound
+		} else {
+			res.Outcome = NotFound
+		}
+	case fragments == 1:
 		res.Outcome = FullyFound
 	case fragments == len(ref.Bits):
 		// Every bit landed in a distinct generated word: nothing learned.

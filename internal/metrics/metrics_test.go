@@ -106,6 +106,75 @@ func TestFirstWordWinsOnOverlap(t *testing.T) {
 	}
 }
 
+// TestScoreWordConvention pins the documented convention for the degenerate
+// word sizes where the paper's two conditions ("fragments == 1" for fully
+// found, "fragments == len(bits)" for not found) are not mutually exclusive.
+func TestScoreWordConvention(t *testing.T) {
+	cases := []struct {
+		name string
+		ref  refwords.Word
+		gen  [][]netlist.NetID
+		want Outcome
+	}{
+		// 0 bits: nothing to score, and fragments/len would divide by zero.
+		{"empty word", ref("w"), [][]netlist.NetID{{1, 2}}, NotFound},
+		// 1 bit: fully found iff a real generated word covers the bit.
+		{"1-bit covered", ref("w", 1), [][]netlist.NetID{{1, 2}}, FullyFound},
+		{"1-bit covered by singleton gen word", ref("w", 1), [][]netlist.NetID{{1}}, FullyFound},
+		{"1-bit uncovered", ref("w", 1), [][]netlist.NetID{{2, 3}}, NotFound},
+		{"1-bit no generated words", ref("w", 1), nil, NotFound},
+		// >= 2 bits: the paper's conditions apply unchanged.
+		{"2-bit together", ref("w", 1, 2), [][]netlist.NetID{{1, 2}}, FullyFound},
+		{"2-bit apart", ref("w", 1, 2), [][]netlist.NetID{{1}, {2}}, NotFound},
+		{"2-bit one covered one not", ref("w", 1, 2), [][]netlist.NetID{{1, 9}}, NotFound},
+		{"3-bit partial", ref("w", 1, 2, 3), [][]netlist.NetID{{1, 2}}, PartiallyFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Evaluate([]refwords.Word{tc.ref}, tc.gen)
+			if got := rep.Words[0].Outcome; got != tc.want {
+				t.Fatalf("outcome = %v, want %v (result %+v)", got, tc.want, rep.Words[0])
+			}
+			// Degenerate sizes never contribute fragmentation — no NaN/Inf
+			// and no poisoning of the aggregate rate.
+			if f := rep.Words[0].Fragmentation; math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Errorf("fragmentation = %v", f)
+			}
+			if tc.want != PartiallyFound && rep.FragmentationRate != 0 {
+				t.Errorf("fragmentation rate = %v, want 0", rep.FragmentationRate)
+			}
+		})
+	}
+}
+
+// TestOverlapTieBreakIsFirstWins is the regression test for Evaluate's
+// documented tie-break: a net claimed by several generated words belongs to
+// the FIRST one in emission order, so reordering otherwise-identical
+// generated words can legitimately change the score — and scoring must match
+// the order given, not e.g. the largest or last claimant.
+func TestOverlapTieBreakIsFirstWins(t *testing.T) {
+	refs := []refwords.Word{ref("w", 1, 2, 3)}
+	// {1,2,3} first: fully found, whatever follows.
+	rep := Evaluate(refs, [][]netlist.NetID{{1, 2, 3}, {1}, {2, 9}, {3, 8}})
+	if rep.FullyFound != 1 {
+		t.Fatalf("winner first: %+v", rep.Words[0])
+	}
+	// Same words with the singletons first: bits 1..3 are attributed to
+	// three distinct earlier words, so the trailing {1,2,3} never owns them.
+	rep = Evaluate(refs, [][]netlist.NetID{{1}, {2, 9}, {3, 8}, {1, 2, 3}})
+	if rep.NotFound != 1 {
+		t.Fatalf("winner last: %+v", rep.Words[0])
+	}
+	if rep.Words[0].Fragments != 3 {
+		t.Errorf("fragments = %d, want 3 (one per claiming word)", rep.Words[0].Fragments)
+	}
+	// Partial overlap: {1,2} wins bits 1 and 2, {2,3} keeps only bit 3.
+	rep = Evaluate(refs, [][]netlist.NetID{{1, 2}, {2, 3}})
+	if rep.PartiallyFound != 1 || rep.Words[0].Fragments != 2 {
+		t.Fatalf("partial overlap: %+v", rep.Words[0])
+	}
+}
+
 func TestEmptyInputs(t *testing.T) {
 	rep := Evaluate(nil, nil)
 	if rep.RefWords != 0 || rep.FullyFoundPct() != 0 || rep.NotFoundPct() != 0 {

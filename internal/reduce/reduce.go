@@ -16,6 +16,7 @@ import (
 
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 )
 
 // Reduction is the result of propagating an assignment through a netlist.
@@ -42,6 +43,13 @@ var ErrConflict = fmt.Errorf("reduce: assignment is contradictory")
 // never cross flip-flops: a constant D input says nothing about the stored
 // state in general, and word identification is a combinational analysis.
 func Apply(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value) (*Reduction, error) {
+	return ApplyObserved(nl, assign, nil)
+}
+
+// ApplyObserved is Apply with observability: the propagation's gate-visit
+// count and peak worklist depth report into rec (see internal/obs). A nil
+// rec records nothing and costs two local integer updates per visit.
+func ApplyObserved(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value, rec *obs.Recorder) (*Reduction, error) {
 	r := &Reduction{
 		nl:      nl,
 		vals:    make(map[netlist.NetID]logic.Value, 2*len(assign)+16),
@@ -62,7 +70,11 @@ func Apply(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value) (*Reductio
 		}
 	}
 	inbuf := make([]logic.Value, 0, 8)
+	visits, maxQueue := int64(0), int64(len(queue))
 	for len(queue) > 0 {
+		if q := int64(len(queue)); q > maxQueue {
+			maxQueue = q
+		}
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 
@@ -70,19 +82,27 @@ func Apply(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value) (*Reductio
 		// a newly known output may backward-imply sibling inputs.
 		net := nl.Net(n)
 		for _, g := range net.Fanout {
+			visits++
 			queue = r.visitGate(g, queue, &inbuf)
 			if r.conflict {
+				rec.Add(obs.CtrReduceGateVisits, visits)
+				rec.Max(obs.GaugeReduceQueue, maxQueue)
 				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
 			}
 		}
 		// Backward: the driver of n now has a known output.
 		if net.Driver != netlist.NoGate {
+			visits++
 			queue = r.visitGate(net.Driver, queue, &inbuf)
 			if r.conflict {
+				rec.Add(obs.CtrReduceGateVisits, visits)
+				rec.Max(obs.GaugeReduceQueue, maxQueue)
 				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
 			}
 		}
 	}
+	rec.Add(obs.CtrReduceGateVisits, visits)
+	rec.Max(obs.GaugeReduceQueue, maxQueue)
 	return r, nil
 }
 

@@ -27,6 +27,9 @@ type Document struct {
 	Evaluation *Evaluation `json:"evaluation,omitempty"`
 	// Runtime is the identification wall time in seconds.
 	Runtime float64 `json:"runtime_seconds"`
+	// Interrupted is set when the run was cancelled or hit its deadline and
+	// the document holds a partial result.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Stats mirrors the design statistics.

@@ -21,6 +21,7 @@ func WriteJSON(w io.Writer, d *Design, rep *Report, ev *Evaluation, includeAll b
 		},
 		ControlSignalsUsed:  rep.ControlSignalsUsed,
 		ControlSignalsFound: rep.ControlSignalsFound,
+		Interrupted:         rep.Interrupted,
 	}
 	doc.SetRuntime(runtime)
 	words := rep.Words
