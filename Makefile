@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
+.PHONY: build test check faults bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the full pre-commit gate: vet, formatting, tests, race pass.
+# check is the full pre-commit gate: vet, formatting, tests, race pass, and
+# the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) faults
+
+# faults runs the fault-injection matrix under the race detector: the guard
+# package's own tests, every stage-level injection point (TestFaultMatrix
+# fires each of match/ctrlsig/trial/verify in both the sequential and the
+# parallel path), the budget-degradation contract, the CLI's fail-fast and
+# summary exits, and the b14-analog isolation test (surviving groups'
+# words byte-identical to a clean run).
+faults:
+	$(GO) test -race ./internal/guard/
+	$(GO) test -race -run '^TestFault' ./internal/core/ ./cmd/wordid/ .
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

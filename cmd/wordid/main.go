@@ -19,6 +19,15 @@
 //	-statsjson F   write the per-stage observability breakdown to F
 //	-cpuprofile F  write a CPU profile (stage-labeled samples) to F
 //	-memprofile F  write a heap profile to F at exit
+//	-fail-fast     exit 2 at the first group failure instead of isolating it
+//	-max-cone-gates N       degrade subgroups with cone scopes over N nets
+//	-max-subgroup-pairs N   degrade subgroups with bits×subtrees over N
+//	-max-trials-per-group N cap control-assignment trials per group
+//
+// A group whose pipeline panics is isolated: its words are dropped, every
+// other group's words are reported as in a clean run, and a one-line summary
+// lands on stderr (exit 0 unless -fail-fast). Budget flags degrade oversized
+// subgroups to the structural match instead of stalling.
 package main
 
 import (
@@ -56,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsJSON := fs.String("statsjson", "", "write the per-stage timing/counter breakdown as JSON to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (samples carry per-stage pprof labels)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	failFast := fs.Bool("fail-fast", false, "exit 2 at the first group failure instead of isolating it and continuing")
+	maxConeGates := fs.Int("max-cone-gates", 0, "degrade subgroups whose fanin-cone scope exceeds this many nets (0 = unlimited)")
+	maxSubgroupPairs := fs.Int("max-subgroup-pairs", 0, "degrade subgroups whose bits x dissimilar-subtrees product exceeds this (0 = unlimited)")
+	maxTrialsPerGroup := fs.Int("max-trials-per-group", 0, "cap control-assignment trials per adjacency group (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			{*trace, "-trace"},
 			{*timeout != 0, "-timeout"},
 			{*statsJSON != "", "-statsjson"},
+			{*failFast, "-fail-fast"},
+			{*maxConeGates != 0, "-max-cone-gates"},
+			{*maxSubgroupPairs != 0, "-max-subgroup-pairs"},
+			{*maxTrialsPerGroup != 0, "-max-trials-per-group"},
 		} {
 			if ignored.set {
 				fmt.Fprintf(stderr, "wordid: warning: %s has no effect with -base/-func; ignoring\n", ignored.name)
@@ -142,6 +159,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Trace:     *trace,
 			Context:   ctx,
 			Observer:  observer,
+			Budgets: gatewords.Budgets{
+				MaxConeGates:      *maxConeGates,
+				MaxSubgroupPairs:  *maxSubgroupPairs,
+				MaxTrialsPerGroup: *maxTrialsPerGroup,
+			},
+			FailFast: *failFast,
 		})
 	}
 	if err != nil {
@@ -154,10 +177,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			elapsed.Round(time.Millisecond), *timeout)
 	}
 	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, observer); err != nil {
+		if err := writeStatsJSON(*statsJSON, observer, rep); err != nil {
 			fmt.Fprintf(stderr, "wordid: %v\n", err)
 			return 1
 		}
+	}
+	if *failFast && len(rep.Failures) > 0 {
+		// The stats file above is still written: a failed run's observability
+		// is exactly when it matters.
+		fmt.Fprintf(stderr, "wordid: aborted by -fail-fast: %s\n", rep.Failures[0])
+		return 2
+	}
+	if len(rep.Failures) > 0 || len(rep.Degradations) > 0 {
+		fmt.Fprintf(stderr, "wordid: partial result: %d group failure(s), %d budget degradation(s) in %d group(s); all other groups are complete\n",
+			len(rep.Failures), len(rep.Degradations), rep.DegradedGroups)
 	}
 	if *memProfile != "" {
 		defer func() {
@@ -252,8 +285,40 @@ func writeGraph(path string, d *gatewords.Design, rep *gatewords.Report) error {
 	return nil
 }
 
-func writeStatsJSON(path string, observer *gatewords.Observer) error {
-	data, err := json.MarshalIndent(observer, "", "  ")
+// writeStatsJSON merges the observer breakdown with the run's failure and
+// degradation records so one file answers both "where did the time go" and
+// "what went wrong". The merge goes through a generic map because the
+// observer already defines its own MarshalJSON layout.
+func writeStatsJSON(path string, observer *gatewords.Observer, rep *gatewords.Report) error {
+	data, err := json.Marshal(observer)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if rep != nil && len(rep.Failures) > 0 {
+		var failures []map[string]any
+		for _, f := range rep.Failures {
+			failures = append(failures, map[string]any{
+				"group": f.Group, "stage": f.Stage, "message": f.Message,
+			})
+		}
+		doc["failures"] = failures
+	}
+	if rep != nil && len(rep.Degradations) > 0 {
+		var degs []map[string]any
+		for _, dg := range rep.Degradations {
+			degs = append(degs, map[string]any{
+				"group": dg.Group, "subgroup": dg.Subgroup,
+				"reason": dg.Reason, "detail": dg.Detail,
+			})
+		}
+		doc["degradations"] = degs
+		doc["degraded_groups"] = rep.DegradedGroups
+	}
+	data, err = json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}

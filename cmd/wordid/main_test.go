@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"gatewords/internal/guard"
 )
 
 const fixture = "../../testdata/counter_style.v"
@@ -169,6 +171,89 @@ func TestProfileFlags(t *testing.T) {
 	for _, p := range []string{cpu, mem} {
 		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
 			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+// TestFaultSummaryExitZero pins the isolation contract at the CLI: with
+// -fail-fast off, a group failure yields a one-line partial-result summary
+// on stderr and exit 0, and the failure lands in the -statsjson file.
+func TestFaultSummaryExitZero(t *testing.T) {
+	guard.Reset()
+	defer guard.Reset()
+	guard.Plant("match", guard.AnyGroup)
+	path := filepath.Join(t.TempDir(), "stats.json")
+	code, _, stderr := runWordid(t, "-statsjson", path, fixture)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (isolation, not abort)\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "partial result: 1 group failure(s)") {
+		t.Errorf("missing partial-result summary, stderr:\n%s", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Failures []struct {
+			Group   int    `json:"group"`
+			Stage   string `json:"stage"`
+			Message string `json:"message"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid stats JSON: %v\n%s", err, data)
+	}
+	if len(doc.Failures) != 1 || doc.Failures[0].Stage != "match" {
+		t.Errorf("stats JSON failures = %+v, want one at stage match", doc.Failures)
+	}
+}
+
+// TestFaultFailFastExitTwo pins -fail-fast: the same injected failure now
+// aborts the run with exit 2 and names the failure on stderr.
+func TestFaultFailFastExitTwo(t *testing.T) {
+	guard.Reset()
+	defer guard.Reset()
+	guard.Plant("match", guard.AnyGroup)
+	code, _, stderr := runWordid(t, "-fail-fast", fixture)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "aborted by -fail-fast") || !strings.Contains(stderr, `stage "match"`) {
+		t.Errorf("missing fail-fast abort line, stderr:\n%s", stderr)
+	}
+}
+
+// TestBudgetFlagDegradationSummary drives -max-cone-gates to an absurd low:
+// the fixture's dissimilar subgroup degrades to the structural match, the
+// run still exits 0, the degradation summary lands on stderr, and the JSON
+// report itemizes it.
+func TestBudgetFlagDegradationSummary(t *testing.T) {
+	code, stdout, stderr := runWordid(t, "-max-cone-gates", "1", "-json", fixture)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	var doc struct {
+		Degradations []struct {
+			Reason string `json:"reason"`
+		} `json:"degradations"`
+		DegradedGroups int `json:"degraded_groups"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(doc.Degradations) == 0 {
+		t.Fatalf("no degradations with -max-cone-gates 1:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "budget degradation") {
+		t.Errorf("missing degradation summary on stderr:\n%s", stderr)
+	}
+	if doc.DegradedGroups == 0 {
+		t.Errorf("degraded_groups = 0 with %d degradations", len(doc.Degradations))
+	}
+	for _, d := range doc.Degradations {
+		if d.Reason != "max-cone-gates" {
+			t.Errorf("degradation reason = %q", d.Reason)
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"gatewords/internal/bench"
 	"gatewords/internal/core"
 	"gatewords/internal/functional"
+	"gatewords/internal/guard"
 	"gatewords/internal/logic"
 	"gatewords/internal/metrics"
 	"gatewords/internal/netlist"
@@ -193,6 +194,31 @@ type Options struct {
 	// and peak gauges across the run (and across runs, if reused). Leaving
 	// it nil costs nothing on the identification hot path.
 	Observer *Observer
+	// Budgets bounds per-group pipeline work; a subgroup that exceeds a
+	// budget degrades to the cheap full-structural match and is itemized in
+	// Report.Degradations instead of stalling or aborting the run. The zero
+	// value is unlimited.
+	Budgets Budgets
+	// FailFast stops the run at the first group whose pipeline panicked
+	// (recovered into Report.Failures) instead of isolating the failure and
+	// continuing. Words from groups completed before the failure are kept.
+	FailFast bool
+}
+
+// Budgets caps per-group pipeline work. Each limit guards one blow-up mode
+// of a hostile or degenerate input; zero fields are unlimited. Exceeding a
+// limit never aborts the run: the affected subgroup keeps its full-structural
+// word classes (the shape-hashing baseline's answer) and the event is
+// recorded in Report.Degradations.
+type Budgets struct {
+	// MaxConeGates caps one subgroup's fanin-cone scope in nets.
+	MaxConeGates int
+	// MaxSubgroupPairs caps one subgroup's matching cross product
+	// (bits × dissimilar subtrees).
+	MaxSubgroupPairs int
+	// MaxTrialsPerGroup caps control-assignment trials across one adjacency
+	// group.
+	MaxTrialsPerGroup int
 }
 
 func (o Options) toCore() core.Options {
@@ -207,6 +233,12 @@ func (o Options) toCore() core.Options {
 		VerifyReduction: o.VerifyReduction,
 		Context:         o.Context,
 		Observer:        o.Observer.recorder(),
+		Budgets: guard.Budgets{
+			MaxConeGates:      o.Budgets.MaxConeGates,
+			MaxSubgroupPairs:  o.Budgets.MaxSubgroupPairs,
+			MaxTrialsPerGroup: o.Budgets.MaxTrialsPerGroup,
+		},
+		FailFast: o.FailFast,
 	}
 }
 
@@ -278,7 +310,52 @@ type Report struct {
 	// Interrupted reports that Options.Context was cancelled (or timed out)
 	// before identification finished; the report holds the partial output.
 	Interrupted bool
-	Trace       []string
+	// Failures records every adjacency group whose pipeline panicked. The
+	// panic was recovered at the group boundary and the group contributed no
+	// words; every other group's words are exactly what a clean run returns.
+	// Empty on a healthy run.
+	Failures []GroupFailure
+	// Degradations itemizes every subgroup that hit an Options.Budgets limit
+	// and fell back to the full-structural match.
+	Degradations []Degradation
+	// DegradedGroups counts adjacency groups with at least one degradation.
+	DegradedGroups int
+	Trace          []string
+}
+
+// GroupFailure is one recovered group-pipeline panic.
+type GroupFailure struct {
+	// Group is the adjacency-group index (grouping order).
+	Group int
+	// Stage is the pipeline stage that panicked ("match", "ctrlsig",
+	// "trial", "verify", or "init").
+	Stage string
+	// Message is the rendered panic value.
+	Message string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// String renders the failure on one line (without the stack).
+func (f GroupFailure) String() string {
+	return fmt.Sprintf("group %d failed at stage %q: %s", f.Group, f.Stage, f.Message)
+}
+
+// Degradation is one budget-triggered fallback to the structural match.
+type Degradation struct {
+	// Group is the adjacency-group index; Subgroup names the subgroup's
+	// first bit net.
+	Group    int
+	Subgroup string
+	// Reason is the exceeded budget ("max-cone-gates", "max-subgroup-pairs",
+	// or "max-trials-per-group"); Detail quantifies the violation.
+	Reason string
+	Detail string
+}
+
+// String renders the degradation on one line.
+func (d Degradation) String() string {
+	return fmt.Sprintf("group %d subgroup %s degraded (%s): %s", d.Group, d.Subgroup, d.Reason, d.Detail)
 }
 
 // ReductionVerification reports the soundness proof of the reductions behind
@@ -328,6 +405,17 @@ func Identify(d *Design, opt Options) (*Report, error) {
 	}
 	rep.ControlSignalsUsed = d.netNames(res.UsedControlSignals)
 	rep.ControlSignalsFound = d.netNames(res.FoundControlSignals)
+	rep.DegradedGroups = res.Stats.DegradedGroups
+	for _, f := range res.Failures {
+		rep.Failures = append(rep.Failures, GroupFailure{
+			Group: f.Group, Stage: f.Stage, Message: f.Message, Stack: f.Stack,
+		})
+	}
+	for _, dg := range res.Degradations {
+		rep.Degradations = append(rep.Degradations, Degradation{
+			Group: dg.Group, Subgroup: dg.Subgroup, Reason: dg.Reason, Detail: dg.Detail,
+		})
+	}
 	if opt.VerifyReduction {
 		rv := &ReductionVerification{
 			ConesProved:  res.Stats.ConesProved,

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGenerateBaseResolution is the regression table for derived-profile
+// resolution: a derived profile (Base != "") used to resolve at package init
+// and panic the whole process on a typo; resolution is now deferred into
+// Generate, which must return an error for an unknown base and resolve known
+// bases with the derived profile's own Name and Scan setting.
+func TestGenerateBaseResolution(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		profile Profile
+		wantErr string
+	}{
+		{
+			name:    "known base resolves",
+			profile: scanVariant("b08x", "b08a"),
+		},
+		{
+			name:    "unknown base is an error, not a panic",
+			profile: scanVariant("bads", "no-such-profile"),
+			wantErr: `unknown base profile "no-such-profile"`,
+		},
+		{
+			name:    "unknown base without scan",
+			profile: Profile{Name: "bad", Base: "nope", Seed: 1},
+			wantErr: `unknown base profile "nope"`,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gen, err := tc.profile.Generate()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Generate() succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen.Profile.Name != tc.profile.Name {
+				t.Errorf("resolved profile name %q, want %q", gen.Profile.Name, tc.profile.Name)
+			}
+			if !gen.Profile.Scan {
+				t.Error("scan variant lost Scan during base resolution")
+			}
+			if gen.NL == nil || gen.NL.NetCount() == 0 {
+				t.Error("resolved profile generated an empty netlist")
+			}
+		})
+	}
+}

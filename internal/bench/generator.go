@@ -98,7 +98,12 @@ type WordSpec struct {
 
 // Profile describes one ITC99-analog benchmark.
 type Profile struct {
-	Name        string
+	Name string
+	// Base, when non-empty, names a Table-1 profile this one derives from:
+	// Generate resolves it lazily, inheriting the base's words, flags,
+	// targets, and seed while keeping this profile's Name and Scan. An
+	// unknown base is an error from Generate, not a package-init panic.
+	Base        string
 	Words       []WordSpec
 	Flags       int // single-bit registers (FFs outside any reference word)
 	TargetGates int // filler is added until the gate count approaches this
@@ -117,8 +122,30 @@ type Generated struct {
 	Refs    []refwords.Word
 }
 
+// resolveBase expands a derived profile (Base != "") into a full one: the
+// base's words, flags, targets, and seed with this profile's Name and Scan.
+// Only Table-1 profiles can serve as bases, which keeps resolution one level
+// deep by construction.
+func (p Profile) resolveBase() (Profile, error) {
+	for _, cand := range Profiles {
+		if cand.Name == p.Base {
+			cand.Name = p.Name
+			cand.Scan = p.Scan
+			return cand, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("bench %s: unknown base profile %q", p.Name, p.Base)
+}
+
 // Generate builds the benchmark deterministically from the profile seed.
 func (p Profile) Generate() (*Generated, error) {
+	if p.Base != "" {
+		resolved, err := p.resolveBase()
+		if err != nil {
+			return nil, err
+		}
+		p = resolved
+	}
 	g := &gen{
 		rng:  rand.New(rand.NewSource(p.Seed)),
 		d:    &rtl.Design{Name: p.Name},

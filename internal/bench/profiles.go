@@ -218,27 +218,15 @@ var ExtensionProfiles = []Profile{
 	scanVariant("b13s", "b13a"),
 }
 
-// scanVariant clones a Table-1 profile with scan insertion enabled. It
-// searches Profiles directly to avoid an initialization cycle through
-// ProfileByName (which also consults ExtensionProfiles).
+// scanVariant declares a scan-insertion clone of a Table-1 profile. The
+// base profile is resolved lazily by Generate — not here at package init —
+// so a misspelled base name surfaces as an error from Generate (and from
+// GenerateBenchmark) instead of a panic before main runs.
 func scanVariant(name, base string) Profile {
-	var p Profile
-	found := false
-	for _, cand := range Profiles {
-		if cand.Name == base {
-			p = cand
-			found = true
-			break
-		}
-	}
-	if !found {
-		panic("bench: unknown base profile " + base)
-	}
-	p.Name = name
-	p.Scan = true
-	// Scan muxes add roughly one gate per flip-flop; keep the original
-	// targets and let the totals drift upward, as scan insertion does.
-	return p
+	// Scan muxes add roughly one gate per flip-flop; the resolved profile
+	// keeps the base's targets and lets the totals drift upward, as scan
+	// insertion does.
+	return Profile{Name: name, Base: base, Scan: true}
 }
 
 // repeatSpec appends n copies of spec (cycling Variant when vary is true) to

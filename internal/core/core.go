@@ -28,11 +28,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gatewords/internal/cone"
 	"gatewords/internal/ctrlsig"
 	"gatewords/internal/eqcheck"
 	"gatewords/internal/group"
+	"gatewords/internal/guard"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
 	"gatewords/internal/obs"
@@ -88,12 +90,24 @@ type Options struct {
 	// is complete, never a half-merged subgroup — with Stats.Interrupted set.
 	Context context.Context
 	// Observer, when non-nil, receives per-stage wall times, work counters,
-	// and peak gauges (see internal/obs). In parallel runs each worker
-	// records into a private per-group recorder; the per-group recorders are
-	// merged into Observer in group order, so the observed totals (and the
-	// Result) are independent of worker scheduling. A nil Observer costs
-	// nothing on the hot path.
+	// and peak gauges (see internal/obs). Every group — sequential or
+	// parallel — records into a private per-group recorder; the per-group
+	// recorders are merged into Observer in group order, so the observed
+	// totals (and the Result) are independent of worker scheduling. A nil
+	// Observer costs nothing on the hot path.
 	Observer *obs.Recorder
+	// Budgets bounds per-group pipeline work (cone scope, matching cross
+	// product, assignment trials). A subgroup that exceeds a budget degrades
+	// to the cheap full-structural match and is itemized in
+	// Result.Degradations rather than aborting the run. The zero value is
+	// unlimited.
+	Budgets guard.Budgets
+	// FailFast stops the run at the first recovered group failure: the
+	// sequential path processes no further groups, and parallel workers stop
+	// picking up new ones (in-flight groups still finish). Completed groups'
+	// words are kept. Off by default: a failed group is isolated and the run
+	// continues.
+	FailFast bool
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +174,10 @@ type Stats struct {
 	// deadline expired) before the pipeline finished: the Result is the
 	// partial output accumulated up to the interruption point.
 	Interrupted bool
+	// DegradedGroups counts adjacency groups in which at least one subgroup
+	// hit an Options.Budgets limit and degraded to the full-structural match
+	// (itemized in Result.Degradations).
+	DegradedGroups int
 }
 
 // ReductionCheck itemizes one reduction-verification anomaly: a rewritten
@@ -186,8 +204,16 @@ type Result struct {
 	// ReductionChecks lists verification anomalies (refuted or undecided
 	// cones) when Options.VerifyReduction is set; empty on a sound run.
 	ReductionChecks []ReductionCheck
-	Stats           Stats
-	Trace           []string
+	// Failures records every group whose pipeline panicked: the panic was
+	// recovered at the group boundary, the group's partial output discarded,
+	// and the remaining groups' words returned intact. Empty on a healthy
+	// run.
+	Failures []guard.GroupFailure
+	// Degradations itemizes every subgroup that hit an Options.Budgets limit
+	// and fell back to the full-structural match, in group order.
+	Degradations []guard.Degradation
+	Stats        Stats
+	Trace        []string
 }
 
 // GeneratedWords returns just the bit sets, in emission order, for metric
@@ -216,17 +242,14 @@ func Identify(nl *netlist.Netlist, opt Options) *Result {
 		return identifyParallel(nl, opt, groups, workers)
 	}
 
-	p := newPipeline(nl, opt)
-	p.result.Stats.Groups = len(groups)
-	for _, g := range groups {
-		if p.cancelled() {
+	outs := make([]groupOutcome, len(groups))
+	for gi := range groups {
+		outs[gi] = runGroup(nl, opt, gi, groups[gi])
+		if opt.FailFast && outs[gi].failure != nil {
 			break
 		}
-		p.processGroup(g)
 	}
-	p.result.UsedControlSignals = sortedNets(p.used)
-	p.result.FoundControlSignals = sortedNets(p.found)
-	return p.result
+	return mergeOutcomes(len(groups), outs, opt.Observer)
 }
 
 func newPipeline(nl *netlist.Netlist, opt Options) *pipeline {
@@ -238,59 +261,89 @@ func newPipeline(nl *netlist.Netlist, opt Options) *pipeline {
 		used:   make(map[netlist.NetID]bool),
 		found:  make(map[netlist.NetID]bool),
 		result: &Result{},
+		stage:  "init",
 	}
 	p.b = cone.NewBuilder(nl, p.it, opt.Depth)
 	return p
 }
 
-// identifyParallel fans adjacency groups out over a worker pool. Each
-// worker owns a private interner/builder (hash keys are only ever compared
-// within a group), and per-group results — and per-group observer recorders —
-// are merged in group order so the output matches the sequential pipeline
-// exactly regardless of worker scheduling.
-func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID, workers int) *Result {
-	parent := opt.Observer
-	perGroup := make([]*Result, len(groups))
-	var perRec []*obs.Recorder
-	if parent != nil {
-		perRec = make([]*obs.Recorder, len(groups))
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for gi := range work {
-				gopt := opt
-				if parent != nil {
-					perRec[gi] = obs.New()
-					if parent.ProfileLabelsEnabled() {
-						perRec[gi].EnableProfileLabels()
-					}
-					gopt.Observer = perRec[gi]
-				}
-				p := newPipeline(nl, gopt)
-				if !p.cancelled() {
-					p.processGroup(groups[gi])
-				}
-				p.result.UsedControlSignals = sortedNets(p.used)
-				p.result.FoundControlSignals = sortedNets(p.found)
-				perGroup[gi] = p.result
-			}
-		}()
-	}
-	for gi := range groups {
-		work <- gi
-	}
-	close(work)
-	wg.Wait()
+// groupOutcome is one adjacency group's contribution to the run: its partial
+// Result, its private observer recorder (nil without an Observer), and the
+// recovered failure if its pipeline panicked. A zero outcome (nil res) marks
+// a group that never ran because FailFast stopped the run first.
+type groupOutcome struct {
+	res     *Result
+	rec     *obs.Recorder
+	failure *guard.GroupFailure
+}
 
+// runGroup runs one adjacency group through a fresh pipeline inside the
+// group's failure domain. Each group gets a private interner/builder (hash
+// keys are only ever compared within a group) and a private recorder, and
+// runs under a recover boundary: a panic anywhere in the group's pipeline —
+// including construction — becomes a GroupFailure, the group's partial
+// result and observations are discarded wholesale (replaced by an empty
+// Result and a recorder holding only the recovery count), and the caller
+// merges the surviving groups as if the failed one had produced no words.
+func runGroup(nl *netlist.Netlist, opt Options, gi int, nets []netlist.NetID) (out groupOutcome) {
+	parent := opt.Observer
+	if parent != nil {
+		out.rec = obs.New()
+		if parent.ProfileLabelsEnabled() {
+			out.rec.EnableProfileLabels()
+		}
+		opt.Observer = out.rec
+	}
+	var p *pipeline
+	defer func() {
+		if v := recover(); v != nil {
+			stage := "init"
+			if p != nil {
+				stage = p.stage
+			}
+			out.failure = guard.NewGroupFailure(gi, stage, v)
+			out.res = &Result{}
+			if parent != nil {
+				out.rec = obs.New()
+				out.rec.Add(obs.CtrPanicsRecovered, 1)
+			}
+		}
+	}()
+	p = newPipeline(nl, opt)
+	p.group = gi
+	if !p.cancelled() {
+		p.processGroup(nets)
+	}
+	p.result.UsedControlSignals = sortedNets(p.used)
+	p.result.FoundControlSignals = sortedNets(p.found)
+	if len(p.result.Degradations) > 0 {
+		p.result.Stats.DegradedGroups = 1
+	}
+	out.res = p.result
+	return out
+}
+
+// mergeOutcomes folds per-group outcomes into one Result, in group order, so
+// the output is identical between the sequential and parallel paths
+// regardless of worker scheduling. Failed groups contribute their failure
+// record and recovery counter; fail-fast-skipped groups (zero outcomes)
+// contribute nothing.
+func mergeOutcomes(nGroups int, outs []groupOutcome, parent *obs.Recorder) *Result {
 	merged := &Result{}
-	merged.Stats.Groups = len(groups)
+	merged.Stats.Groups = nGroups
 	used := make(map[netlist.NetID]bool)
 	found := make(map[netlist.NetID]bool)
-	for gi, r := range perGroup {
+	for _, out := range outs {
+		if out.failure != nil {
+			merged.Failures = append(merged.Failures, *out.failure)
+		}
+		if parent != nil && out.rec != nil {
+			parent.Merge(out.rec)
+		}
+		r := out.res
+		if r == nil {
+			continue
+		}
 		merged.Words = append(merged.Words, r.Words...)
 		merged.Trace = append(merged.Trace, r.Trace...)
 		merged.Stats.Subgroups += r.Stats.Subgroups
@@ -303,20 +356,54 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 		merged.Stats.ConesRefuted += r.Stats.ConesRefuted
 		merged.Stats.ConesUnknown += r.Stats.ConesUnknown
 		merged.Stats.Interrupted = merged.Stats.Interrupted || r.Stats.Interrupted
+		merged.Stats.DegradedGroups += r.Stats.DegradedGroups
 		merged.ReductionChecks = append(merged.ReductionChecks, r.ReductionChecks...)
+		merged.Degradations = append(merged.Degradations, r.Degradations...)
 		for _, n := range r.UsedControlSignals {
 			used[n] = true
 		}
 		for _, n := range r.FoundControlSignals {
 			found[n] = true
 		}
-		if parent != nil {
-			parent.Merge(perRec[gi])
-		}
 	}
 	merged.UsedControlSignals = sortedNets(used)
 	merged.FoundControlSignals = sortedNets(found)
 	return merged
+}
+
+// identifyParallel fans adjacency groups out over a worker pool. Each group
+// runs in its own failure domain (runGroup), and per-group outcomes merge in
+// group order so the output matches the sequential pipeline exactly
+// regardless of worker scheduling. Under FailFast, workers stop picking up
+// new groups once any group fails; which in-flight groups complete depends
+// on scheduling, so a fail-fast parallel result is best-effort (the
+// non-fail-fast result is deterministic).
+func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID, workers int) *Result {
+	outs := make([]groupOutcome, len(groups))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range work {
+				if opt.FailFast && failed.Load() {
+					continue
+				}
+				outs[gi] = runGroup(nl, opt, gi, groups[gi])
+				if outs[gi].failure != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for gi := range groups {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+	return mergeOutcomes(len(groups), outs, opt.Observer)
 }
 
 type pipeline struct {
@@ -329,6 +416,23 @@ type pipeline struct {
 	used   map[netlist.NetID]bool
 	found  map[netlist.NetID]bool
 	result *Result
+	// group is the adjacency-group index this pipeline is running (each
+	// pipeline instance runs exactly one group; see runGroup).
+	group int
+	// stage tracks the last entered pipeline stage ("init" before the
+	// first); runGroup's recover boundary reads it to attribute a panic.
+	stage string
+	// groupTrials counts assignment trials across the whole group, the
+	// currency of Budgets.MaxTrialsPerGroup.
+	groupTrials int
+}
+
+// enterStage marks the pipeline as inside the named stage — the label a
+// recovered panic is attributed to — and gives guard.Inject its per-stage
+// fault-injection point (a no-op unless a test planted a fault).
+func (p *pipeline) enterStage(name string) {
+	p.stage = name
+	guard.Inject(name, p.group)
 }
 
 func (p *pipeline) tracef(format string, args ...any) {
@@ -363,6 +467,7 @@ func (p *pipeline) cancelled() bool {
 func (p *pipeline) processGroup(nets []netlist.NetID) {
 	var subgroups [][]*cone.BitCone
 	p.rec.Do(p.opt.Context, obs.StageMatch, func() {
+		p.enterStage(obs.StageMatch.String())
 		var bits []*cone.BitCone
 		flush := func() {
 			if len(bits) > 0 {
@@ -416,8 +521,34 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		return
 	}
 
+	// Budget gates, cheapest first. Each one degrades the subgroup to the
+	// full-structural match instead of starting work it cannot finish.
+	b := p.opt.Budgets
+	if b.MaxSubgroupPairs > 0 && len(bits)*totalDissim > b.MaxSubgroupPairs {
+		p.degrade(bits, guard.ReasonSubgroupPairs,
+			fmt.Sprintf("%d bits x %d subtrees = %d pairs > budget %d",
+				len(bits), totalDissim, len(bits)*totalDissim, b.MaxSubgroupPairs))
+		return
+	}
+	if b.MaxTrialsPerGroup > 0 && p.groupTrials >= b.MaxTrialsPerGroup {
+		p.degrade(bits, guard.ReasonTrials,
+			fmt.Sprintf("group trial budget %d already spent", b.MaxTrialsPerGroup))
+		return
+	}
+
+	// Fanin-closed scope of the subgroup's cones, computed once: per trial,
+	// the dirty walk and re-keying stay inside it no matter how far the
+	// reduction propagated. It is also the cone-size budget's measure.
+	scope := p.subgroupScope(bits)
+	if b.MaxConeGates > 0 && len(scope) > b.MaxConeGates {
+		p.degrade(bits, guard.ReasonConeGates,
+			fmt.Sprintf("cone scope %d nets > budget %d", len(scope), b.MaxConeGates))
+		return
+	}
+
 	var signals []ctrlsig.Signal
 	p.rec.Do(p.opt.Context, obs.StageCtrlSig, func() {
+		p.enterStage(obs.StageCtrlSig.String())
 		signals = ctrlsig.Find(p.nl, p.b, dissim, p.opt.Depth-1)
 	})
 	p.rec.Max(obs.GaugeControlSignals, int64(len(signals)))
@@ -434,19 +565,24 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 	bestSize := maxClassSize(baseClasses)
 	var bestTrial *trialResult
 
-	// Fanin-closed scope of the subgroup's cones, computed once: per trial,
-	// the dirty walk and re-keying stay inside it no matter how far the
-	// reduction propagated.
-	scope := p.subgroupScope(bits)
-
 	trials := 0
 	stop := false
+	truncated := false
 	p.rec.Do(p.opt.Context, obs.StageTrial, func() {
+		p.enterStage(obs.StageTrial.String())
 		p.forEachAssignment(signals, func(assign map[netlist.NetID]logic.Value) bool {
 			if stop || trials >= p.opt.MaxTrials || p.cancelled() {
 				return false
 			}
+			if b.MaxTrialsPerGroup > 0 && p.groupTrials >= b.MaxTrialsPerGroup {
+				// Mid-enumeration exhaustion truncates the search but keeps
+				// the evidence gathered so far: the normal fallback below
+				// still uses the best trial seen before the budget ran out.
+				truncated = true
+				return false
+			}
 			trials++
+			p.groupTrials++
 			p.result.Stats.Trials++
 			p.rec.Add(obs.CtrTrials, 1)
 			tr := p.tryAssignment(bits, scope, assign)
@@ -472,6 +608,11 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 		// so emit nothing for it — a partial Result never contains a word
 		// whose evidence was cut short.
 		return
+	}
+	if truncated {
+		p.recordDegradation(bits, guard.ReasonTrials,
+			fmt.Sprintf("group trial budget %d exhausted after %d trials in this subgroup",
+				b.MaxTrialsPerGroup, trials))
 	}
 
 	if bestTrial != nil && bestTrial.maxClass == len(bits) {
@@ -549,6 +690,33 @@ func (p *pipeline) resolveSubgroup(bits []*cone.BitCone) {
 	}
 }
 
+// recordDegradation itemizes one budget violation and counts it for the
+// observer. It does not emit words: the caller decides whether the subgroup
+// keeps its partial evidence (trial truncation) or falls all the way back to
+// the structural classes (degrade).
+func (p *pipeline) recordDegradation(bits []*cone.BitCone, reason, detail string) {
+	p.result.Degradations = append(p.result.Degradations, guard.Degradation{
+		Group:    p.group,
+		Subgroup: p.nl.NetName(bits[0].Net),
+		Reason:   reason,
+		Detail:   detail,
+	})
+	p.rec.Add(obs.CtrDegradedSubgroups, 1)
+	p.tracef("subgroup %s: degraded (%s): %s", p.nl.NetName(bits[0].Net), reason, detail)
+}
+
+// degrade is the budget-exceeded fallback: record the degradation and emit
+// the subgroup's full-structural word classes — what the shape-hashing
+// baseline would produce — skipping control-signal discovery and trials
+// entirely. Multi-bit classes carry full-similarity evidence and stay
+// verified; leftover singletons matched nothing.
+func (p *pipeline) degrade(bits []*cone.BitCone, reason, detail string) {
+	p.recordDegradation(bits, reason, detail)
+	for _, cls := range classesByKey(bits, nil) {
+		p.emit(Word{Bits: cls, Verified: len(cls) >= 2})
+	}
+}
+
 // cohesive reports whether every bit shares at least Theta of its subtrees
 // with the subgroup's common structure.
 func (p *pipeline) cohesive(bits []*cone.BitCone, common []cone.KeyID) bool {
@@ -575,11 +743,19 @@ type trialResult struct {
 // verified, so cost scales with emitted words, not with trials. bits is
 // restricted to the bits that actually rode the reduction into a word.
 func (p *pipeline) verifyTrial(bits []*cone.BitCone, tr *trialResult) {
+	p.enterStage(obs.StageVerify.String())
 	roots := make([]netlist.NetID, len(bits))
 	for i, bc := range bits {
 		roots[i] = bc.Net
 	}
-	vr := tr.red.VerifyCones(roots, p.opt.Depth, eqcheck.Options{MaxConflicts: p.opt.VerifyMaxConflicts, Observer: p.rec})
+	// RetryUnknown gives budget-exhausted cones an escalating-retry ladder:
+	// the budget doubles per retry, so undecided verdicts cost extra effort
+	// only where the first attempt came up empty.
+	vr := tr.red.VerifyCones(roots, p.opt.Depth, eqcheck.Options{
+		MaxConflicts: p.opt.VerifyMaxConflicts,
+		RetryUnknown: 2,
+		Observer:     p.rec,
+	})
 	p.result.Stats.ConesProved += vr.Proved
 	p.result.Stats.ConesRefuted += vr.Refuted
 	p.result.Stats.ConesUnknown += vr.Unknown

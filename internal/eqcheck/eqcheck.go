@@ -56,6 +56,9 @@ const (
 	DefaultSimRounds    = 32
 	DefaultMaxConflicts = 20000
 	defaultSeed         = 0x51ab_c0de_2015_dac1
+	// DefaultRetryConflictCap bounds the escalating-retry ladder: 8× the
+	// default conflict budget, reached after three doublings.
+	DefaultRetryConflictCap = 8 * DefaultMaxConflicts
 )
 
 // Options tunes the staged pipeline. The zero value uses the defaults;
@@ -71,6 +74,17 @@ type Options struct {
 	// MaxConflicts bounds the DPLL search; exceeding it yields Unknown.
 	// 0 means DefaultMaxConflicts; negative skips the SAT stage.
 	MaxConflicts int
+	// RetryUnknown is the depth of the escalating-retry ladder: a SAT stage
+	// that exhausts its conflict budget (Unknown) is rerun up to RetryUnknown
+	// more times with the budget doubled each attempt, capped at
+	// RetryConflictCap. 0 disables retries; retries never fire on decided
+	// (Sat/Unsat) verdicts, so enabling the ladder only spends effort where
+	// the answer was otherwise lost.
+	RetryUnknown int
+	// RetryConflictCap caps the escalated conflict budget (0 means
+	// DefaultRetryConflictCap). Once the cap is reached, a remaining Unknown
+	// is final.
+	RetryConflictCap int
 	// Observer, when non-nil, accumulates each query's work — simulation
 	// rounds and the SAT budget actually consumed (decisions, propagations,
 	// conflicts) — into the recorder (see internal/obs). Nil costs nothing.
@@ -103,7 +117,16 @@ func (o Options) maxConflicts() int {
 	return o.MaxConflicts
 }
 
-// Stats reports the work each stage performed.
+func (o Options) retryCap() int {
+	if o.RetryConflictCap <= 0 {
+		return DefaultRetryConflictCap
+	}
+	return o.RetryConflictCap
+}
+
+// Stats reports the work each stage performed. Decisions, Propagations, and
+// Conflicts accumulate across retry-ladder attempts; Retries counts the
+// escalations taken (0 on a first-attempt decision).
 type Stats struct {
 	SimRounds    int `json:"sim_rounds"`
 	Vars         int `json:"vars"`
@@ -111,6 +134,7 @@ type Stats struct {
 	Decisions    int `json:"decisions"`
 	Propagations int `json:"propagations"`
 	Conflicts    int `json:"conflicts"`
+	Retries      int `json:"retries"`
 }
 
 // Result is the outcome of one literal-pair (or one output-pair) check.
@@ -181,6 +205,7 @@ func Solve(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
 		rec.Add(obs.CtrSATDecisions, int64(sr.Stats.Decisions))
 		rec.Add(obs.CtrSATPropagations, int64(sr.Stats.Propagations))
 		rec.Add(obs.CtrSATConflicts, int64(sr.Stats.Conflicts))
+		rec.Add(obs.CtrSATRetries, int64(sr.Stats.Retries))
 	}
 	return sr
 }
@@ -229,27 +254,43 @@ func solveStaged(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
 		return SolveResult{Status: SolveUnknown, Stage: "sim", Stats: st}
 	}
 
-	// Stage 3: Tseitin CNF + DPLL.
-	s, varOf := tseitin(g, l, opt.maxConflicts())
-	st.Vars = s.nVars
-	st.Clauses = len(s.clauses) + len(s.units)
-	status := s.solve()
-	st.Decisions = s.stats.Decisions
-	st.Propagations = s.stats.Propagations
-	st.Conflicts = s.stats.Conflicts
-	switch status {
-	case statusUnsat:
-		return SolveResult{Status: Unsat, Stage: "sat", Stats: st}
-	case statusUnknown:
-		return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+	// Stage 3: Tseitin CNF + DPLL, with the escalating-retry ladder: an
+	// Unknown verdict (conflict budget exhausted) reruns the solve with the
+	// budget doubled, up to RetryUnknown attempts or the RetryConflictCap,
+	// whichever comes first. The solver is deterministic, so a rerun with a
+	// larger budget strictly extends the exhausted search.
+	budget := opt.maxConflicts()
+	for attempt := 0; ; attempt++ {
+		s, varOf := tseitin(g, l, budget)
+		st.Vars = s.nVars
+		st.Clauses = len(s.clauses) + len(s.units)
+		status := s.solve()
+		st.Decisions += s.stats.Decisions
+		st.Propagations += s.stats.Propagations
+		st.Conflicts += s.stats.Conflicts
+		switch status {
+		case statusUnsat:
+			return SolveResult{Status: Unsat, Stage: "sat", Stats: st}
+		case statusUnknown:
+			next := budget * 2
+			if hi := opt.retryCap(); next > hi {
+				next = hi
+			}
+			if attempt >= opt.RetryUnknown || next <= budget {
+				return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+			}
+			st.Retries++
+			budget = next
+			continue
+		}
+		model, ok := modelFromSolver(g, l, s, varOf)
+		if !ok {
+			// The solver's model failed re-simulation: a solver bug. Degrade to
+			// Unknown rather than report a bogus counterexample.
+			return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+		}
+		return SolveResult{Status: Sat, Model: model, Stage: "sat", Stats: st}
 	}
-	model, ok := modelFromSolver(g, l, s, varOf)
-	if !ok {
-		// The solver's model failed re-simulation: a solver bug. Degrade to
-		// Unknown rather than report a bogus counterexample.
-		return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
-	}
-	return SolveResult{Status: Sat, Model: model, Stage: "sat", Stats: st}
 }
 
 // modelFromWords extracts the assignment of lane from the simulated words,

@@ -9,6 +9,7 @@ import (
 	"gatewords/internal/eqcheck"
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
+	"gatewords/internal/obs"
 	"gatewords/internal/sim"
 )
 
@@ -424,5 +425,62 @@ func TestSim64AgainstReferenceSimulator(t *testing.T) {
 		if checked == 0 {
 			t.Fatal("cross-check compared nothing")
 		}
+	}
+}
+
+// wideXorMiter rebuilds the reassociated-XOR miter of
+// TestCheckLitsUnknownOnBudget: equivalent sides (simulation can never
+// refute) that a tiny conflict budget cannot prove.
+func wideXorMiter() (*aig.AIG, aig.Lit, aig.Lit) {
+	g := aig.New()
+	const n = 10
+	ins := make([]aig.Lit, n)
+	for i := range ins {
+		ins[i] = g.Input(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	left := g.XorN(ins)
+	right := aig.False
+	for i := n - 1; i >= 0; i-- {
+		right = g.Xor(ins[i], right)
+	}
+	return g, left, right
+}
+
+// TestRetryLadderEscalatesUnknown pins the escalating-retry ladder: a
+// conflict budget too small to prove the wide-XOR miter stays Unknown with
+// the ladder off, and is escalated to a decided Equivalent with it on — with
+// the retries counted in both the result stats and the observer.
+func TestRetryLadderEscalatesUnknown(t *testing.T) {
+	g, left, right := wideXorMiter()
+	base := eqcheck.Options{SimRounds: 2, MaxConflicts: 5}
+
+	r := eqcheck.CheckLits(g, left, right, base)
+	if r.Verdict != eqcheck.Unknown || r.Stats.Retries != 0 {
+		t.Fatalf("ladder off: verdict=%v retries=%d, want unknown/0", r.Verdict, r.Stats.Retries)
+	}
+
+	rec := obs.New()
+	opt := base
+	opt.RetryUnknown = 20
+	opt.Observer = rec
+	r = eqcheck.CheckLits(g, left, right, opt)
+	if r.Verdict != eqcheck.Equivalent || r.Stage != "sat" {
+		t.Fatalf("ladder on: verdict=%v stage=%s, want equivalent/sat", r.Verdict, r.Stage)
+	}
+	if r.Stats.Retries < 1 {
+		t.Fatalf("ladder on: Retries = %d, want >= 1", r.Stats.Retries)
+	}
+	if got := rec.Count(obs.CtrSATRetries); got != int64(r.Stats.Retries) {
+		t.Errorf("sat_retries counter = %d, want %d", got, r.Stats.Retries)
+	}
+
+	// A cap at the starting budget forbids any escalation: the ladder stops
+	// immediately and the verdict stays Unknown with zero retries.
+	opt = base
+	opt.RetryUnknown = 20
+	opt.RetryConflictCap = base.MaxConflicts
+	r = eqcheck.CheckLits(g, left, right, opt)
+	if r.Verdict != eqcheck.Unknown || r.Stats.Retries != 0 {
+		t.Fatalf("capped ladder: verdict=%v retries=%d, want unknown/0", r.Verdict, r.Stats.Retries)
 	}
 }

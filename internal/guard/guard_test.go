@@ -1,0 +1,123 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInjectDisarmedIsFree(t *testing.T) {
+	Reset()
+	// With nothing planted, Inject must be a no-op for any stage/group.
+	Inject("match", 0)
+	Inject("verify", AnyGroup)
+	if n := Planted(); n != 0 {
+		t.Fatalf("Planted() = %d after no-op Injects, want 0", n)
+	}
+}
+
+func TestInjectFiresOnceForExactKey(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Plant("trial", 3)
+	// Wrong stage and wrong group must not trip the plant.
+	Inject("match", 3)
+	Inject("trial", 2)
+	if Planted() != 1 {
+		t.Fatal("plant consumed by a non-matching Inject")
+	}
+	func() {
+		defer func() {
+			v := recover()
+			ip, ok := v.(InjectedPanic)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want InjectedPanic", v, v)
+			}
+			if ip.Stage != "trial" || ip.Group != 3 {
+				t.Fatalf("InjectedPanic = %+v, want stage trial group 3", ip)
+			}
+			if !strings.Contains(ip.String(), `"trial"`) || !strings.Contains(ip.String(), "group 3") {
+				t.Fatalf("InjectedPanic.String() = %q", ip.String())
+			}
+		}()
+		Inject("trial", 3)
+		t.Fatal("Inject with a matching plant did not panic")
+	}()
+	// One-shot: the plant is consumed.
+	if Planted() != 0 {
+		t.Fatalf("Planted() = %d after firing, want 0", Planted())
+	}
+	Inject("trial", 3)
+}
+
+func TestInjectAnyGroupWildcard(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Plant("ctrlsig", AnyGroup)
+	defer func() {
+		if v := recover(); v == nil {
+			t.Fatal("AnyGroup plant did not fire for a concrete group")
+		}
+	}()
+	Inject("ctrlsig", 7)
+}
+
+func TestResetClearsPlants(t *testing.T) {
+	Reset()
+	Plant("match", 0)
+	Plant("verify", AnyGroup)
+	if Planted() != 2 {
+		t.Fatalf("Planted() = %d, want 2", Planted())
+	}
+	Reset()
+	if Planted() != 0 {
+		t.Fatalf("Planted() = %d after Reset, want 0", Planted())
+	}
+	Inject("match", 0) // must not panic
+}
+
+func TestNewGroupFailureCapturesPanicValue(t *testing.T) {
+	f := func() (gf *GroupFailure) {
+		defer func() {
+			gf = NewGroupFailure(5, "match", recover())
+		}()
+		panic("index out of range")
+	}()
+	if f.Group != 5 || f.Stage != "match" {
+		t.Fatalf("GroupFailure = %+v", f)
+	}
+	if f.Message != "index out of range" {
+		t.Fatalf("Message = %q", f.Message)
+	}
+	if !strings.Contains(f.Stack, "guard_test.go") {
+		t.Errorf("stack does not reference the panicking frame:\n%s", f.Stack)
+	}
+	want := `group 5 failed at stage "match": index out of range`
+	if f.String() != want {
+		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestBudgetsUnlimited(t *testing.T) {
+	if !(Budgets{}).Unlimited() {
+		t.Fatal("zero Budgets not Unlimited")
+	}
+	for _, b := range []Budgets{
+		{MaxConeGates: 1},
+		{MaxSubgroupPairs: 1},
+		{MaxTrialsPerGroup: 1},
+	} {
+		if b.Unlimited() {
+			t.Fatalf("Budgets %+v reported Unlimited", b)
+		}
+	}
+}
+
+func TestDegradationString(t *testing.T) {
+	d := Degradation{Group: 2, Subgroup: "acc0", Reason: ReasonConeGates, Detail: "cone scope 900 nets > budget 100"}
+	s := d.String()
+	for _, frag := range []string{"group 2", "acc0", ReasonConeGates, "900"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Degradation.String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -203,36 +203,51 @@ func (k Kind) ControlledOutput() (Value, bool) {
 // Eval computes the output of a k-kind combinational gate over three-valued
 // inputs. The result is X unless the known inputs fully determine it. Eval
 // panics if the arity is invalid for k, since that indicates a malformed
-// netlist that should have been rejected earlier.
+// netlist that should have been rejected earlier. Call sites that accept
+// leniently parsed netlists — where malformed gates are legal — must use
+// TryEval instead.
 func Eval(k Kind, in []Value) Value {
+	v, err := TryEval(k, in)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// TryEval is the non-panicking form of Eval: an invalid arity for k, or a
+// non-combinational kind, is reported as an error (with X) instead of a
+// panic. verilog.ParseLenient can legally produce such gates, so the lenient
+// pipeline routes through TryEval and degrades the offending gate rather
+// than crashing.
+func TryEval(k Kind, in []Value) (Value, error) {
 	if !k.ValidArity(len(in)) {
-		panic(fmt.Sprintf("logic: %s gate with %d inputs", k, len(in)))
+		return X, fmt.Errorf("logic: %s gate with %d inputs", k, len(in))
 	}
 	switch k {
 	case Buf:
-		return in[0]
+		return in[0], nil
 	case Not:
-		return in[0].Not()
+		return in[0].Not(), nil
 	case And:
-		return evalAnd(in)
+		return evalAnd(in), nil
 	case Nand:
-		return evalAnd(in).Not()
+		return evalAnd(in).Not(), nil
 	case Or:
-		return evalOr(in)
+		return evalOr(in), nil
 	case Nor:
-		return evalOr(in).Not()
+		return evalOr(in).Not(), nil
 	case Xor:
-		return evalXor(in)
+		return evalXor(in), nil
 	case Xnor:
-		return evalXor(in).Not()
+		return evalXor(in).Not(), nil
 	case Mux2:
-		return evalMux(in[0], in[1], in[2])
+		return evalMux(in[0], in[1], in[2]), nil
 	case Aoi21:
-		return evalOr([]Value{evalAnd(in[:2]), in[2]}).Not()
+		return evalOr([]Value{evalAnd(in[:2]), in[2]}).Not(), nil
 	case Oai21:
-		return evalAnd([]Value{evalOr(in[:2]), in[2]}).Not()
+		return evalAnd([]Value{evalOr(in[:2]), in[2]}).Not(), nil
 	}
-	panic(fmt.Sprintf("logic: Eval on non-combinational kind %s", k))
+	return X, fmt.Errorf("logic: Eval on non-combinational kind %s", k)
 }
 
 func evalAnd(in []Value) Value {

@@ -223,6 +223,39 @@ func TestEvalPanicsOnBadArity(t *testing.T) {
 	Eval(Not, []Value{One, Zero})
 }
 
+// TestTryEval pins the non-panicking entry point used on leniently parsed
+// netlists: bad arities and non-combinational kinds come back as errors with
+// the same messages Eval panics with, and valid calls agree with Eval.
+func TestTryEval(t *testing.T) {
+	if _, err := TryEval(Not, []Value{One, Zero}); err == nil {
+		t.Error("TryEval(NOT/2) returned no error")
+	} else if want := "logic: NOT gate with 2 inputs"; err.Error() != want {
+		t.Errorf("TryEval(NOT/2) err = %q, want %q", err, want)
+	}
+	if _, err := TryEval(DFF, []Value{One}); err == nil {
+		t.Error("TryEval(DFF) returned no error")
+	}
+	for _, c := range []struct {
+		k    Kind
+		in   []Value
+		want Value
+	}{
+		{And, []Value{One, One}, One},
+		{Nand, []Value{One, Zero}, One},
+		{Xor, []Value{One, Zero, X}, X},
+		{Mux2, []Value{Zero, One, Zero}, One},
+	} {
+		got, err := TryEval(c.k, c.in)
+		if err != nil {
+			t.Errorf("TryEval(%s, %v): %v", c.k, c.in, err)
+			continue
+		}
+		if got != c.want || got != Eval(c.k, c.in) {
+			t.Errorf("TryEval(%s, %v) = %s, want %s (= Eval)", c.k, c.in, got, c.want)
+		}
+	}
+}
+
 // completions enumerates all 0/1 fillings of the unknown positions.
 func completions(in []Value) [][]Value {
 	var unknown []int

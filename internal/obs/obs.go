@@ -82,6 +82,17 @@ const (
 	CtrSATPropagations
 	// CtrSATConflicts counts DPLL conflicts (the SAT budget's currency).
 	CtrSATConflicts
+	// CtrSATRetries counts eqcheck retry-ladder escalations: SAT stages rerun
+	// with a doubled conflict budget after an Unknown verdict.
+	CtrSATRetries
+	// CtrPanicsRecovered counts group pipelines that panicked and were
+	// converted into GroupFailure records (see internal/guard). A failed
+	// group's own recorder is discarded, so this counter is the only
+	// observation it contributes.
+	CtrPanicsRecovered
+	// CtrDegradedSubgroups counts subgroups degraded to the full-structural
+	// match because a resource budget was exceeded (see guard.Budgets).
+	CtrDegradedSubgroups
 
 	NumCounters
 )
@@ -89,6 +100,7 @@ const (
 var counterNames = [NumCounters]string{
 	"trials", "reductions", "reduce_gate_visits", "eq_checks",
 	"sim_rounds", "sat_decisions", "sat_propagations", "sat_conflicts",
+	"sat_retries", "panics_recovered", "degraded_subgroups",
 }
 
 // String names the counter.

@@ -73,9 +73,12 @@ func Materialize(r *Reduction) (*Materialized, error) {
 		if g.Kind != logic.DFF && r.vals[g.Output].Known() {
 			continue // dead gate
 		}
-		kind, pins, constOut := SimplifyGate(g.Kind, g.Inputs, func(n netlist.NetID) logic.Value {
+		kind, pins, constOut, err := TrySimplifyGate(g.Kind, g.Inputs, func(n netlist.NetID) logic.Value {
 			return r.vals[n]
 		})
+		if err != nil {
+			return nil, fmt.Errorf("reduce: materializing gate %q: %w", g.Name, err)
+		}
 		if constOut.Known() {
 			continue // defensive; covered by the vals check above
 		}

@@ -31,11 +31,21 @@ type Reduction struct {
 
 	effKind map[netlist.GateID]logic.Kind
 	effIns  map[netlist.GateID][]netlist.NetID
+
+	// malformed records the first lenient-netlist gate the propagation could
+	// not evaluate (invalid arity for its kind); it preempts the generic
+	// conflict error.
+	malformed error
 }
 
 // ErrConflict is returned by Apply when an assignment is infeasible: the
 // implied values contradict each other somewhere in the netlist.
 var ErrConflict = fmt.Errorf("reduce: assignment is contradictory")
+
+// ErrMalformedGate is returned (wrapped) by Apply and TrySimplifyGate when
+// propagation reaches a gate whose arity is invalid for its kind — legal on
+// leniently parsed netlists (verilog.ParseLenient), fatal to evaluate.
+var ErrMalformedGate = fmt.Errorf("reduce: malformed gate")
 
 // Apply propagates assign through nl and returns the resulting overlay.
 // Propagation runs forward (gate inputs determine outputs) and backward
@@ -87,7 +97,7 @@ func ApplyObserved(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value, re
 			if r.conflict {
 				rec.Add(obs.CtrReduceGateVisits, visits)
 				rec.Max(obs.GaugeReduceQueue, maxQueue)
-				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
+				return nil, r.propagationError()
 			}
 		}
 		// Backward: the driver of n now has a known output.
@@ -97,13 +107,22 @@ func ApplyObserved(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value, re
 			if r.conflict {
 				rec.Add(obs.CtrReduceGateVisits, visits)
 				rec.Max(obs.GaugeReduceQueue, maxQueue)
-				return nil, fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
+				return nil, r.propagationError()
 			}
 		}
 	}
 	rec.Add(obs.CtrReduceGateVisits, visits)
 	rec.Max(obs.GaugeReduceQueue, maxQueue)
 	return r, nil
+}
+
+// propagationError renders the reason propagation aborted: the malformed
+// gate if one was hit, else the assignment conflict.
+func (r *Reduction) propagationError() error {
+	if r.malformed != nil {
+		return r.malformed
+	}
+	return fmt.Errorf("%w (at gate %q)", ErrConflict, r.ConflictGate)
 }
 
 // visitGate re-evaluates one gate against current knowledge, performing both
@@ -120,8 +139,17 @@ func (r *Reduction) visitGate(g netlist.GateID, queue []netlist.NetID, inbuf *[]
 	}
 	*inbuf = in
 
-	// Forward.
-	out := logic.Eval(gate.Kind, in)
+	// Forward. A leniently parsed netlist can contain a gate whose arity is
+	// invalid for its kind; surface it as an explicit error instead of
+	// letting logic.Eval panic. The early return also shields the backward
+	// implication below, which indexes pins by fixed arity.
+	out, evalErr := logic.TryEval(gate.Kind, in)
+	if evalErr != nil {
+		r.conflict = true
+		r.ConflictGate = gate.Name
+		r.malformed = fmt.Errorf("%w %q: %v", ErrMalformedGate, gate.Name, evalErr)
+		return queue
+	}
 	cur := r.vals[gate.Output]
 	if out.Known() {
 		if cur.Known() && cur != out {
@@ -308,9 +336,14 @@ func (r *Reduction) GateInputs(g netlist.GateID, buf []netlist.NetID) []netlist.
 
 func (r *Reduction) effective(g netlist.GateID) (logic.Kind, []netlist.NetID) {
 	gate := r.nl.Gate(g)
-	kind, ins, _ := SimplifyGate(gate.Kind, gate.Inputs, func(n netlist.NetID) logic.Value {
+	kind, ins, _, err := TrySimplifyGate(gate.Kind, gate.Inputs, func(n netlist.NetID) logic.Value {
 		return r.vals[n]
 	})
+	if err != nil {
+		// View methods cannot fail; a malformed gate (lenient netlist)
+		// passes through unrewritten and renders as its original structure.
+		return gate.Kind, append([]netlist.NetID(nil), gate.Inputs...)
+	}
 	return kind, ins
 }
 

@@ -3,6 +3,7 @@ package reduce
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"gatewords/internal/logic"
@@ -532,5 +533,54 @@ func TestDirtyDistancesInScope(t *testing.T) {
 		if got[n] != d {
 			t.Errorf("dist[%s] = %d, global %d", nl.NetName(n), got[n], d)
 		}
+	}
+}
+
+// TestApplyMalformedGateIsAnError pins the lenient-netlist hardening: a
+// bad-arity gate (legal in a leniently parsed netlist) reached by
+// propagation must surface as a wrapped ErrMalformedGate, not a panic from
+// logic.Eval.
+func TestApplyMalformedGateIsAnError(t *testing.T) {
+	nl := netlist.New("lenient")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	// AddGateLenient admits the NAND/1 that MustGate would reject.
+	nl.AddGateLenient("g1", logic.Nand, y, a)
+	_, err := Apply(nl, map[netlist.NetID]logic.Value{a: logic.Zero})
+	if err == nil {
+		t.Fatal("Apply evaluated a NAND/1 without error")
+	}
+	if !errors.Is(err, ErrMalformedGate) {
+		t.Fatalf("err = %v, want ErrMalformedGate", err)
+	}
+	for _, frag := range []string{"g1", "NAND", "1 inputs"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestTrySimplifyGateBadArity pins the non-panicking simplify entry point:
+// bad arities error, well-formed gates match SimplifyGate exactly.
+func TestTrySimplifyGateBadArity(t *testing.T) {
+	ins := []netlist.NetID{1}
+	if _, _, _, err := TrySimplifyGate(logic.Nand, ins, nil); !errors.Is(err, ErrMalformedGate) {
+		t.Fatalf("TrySimplifyGate(NAND/1) err = %v, want ErrMalformedGate", err)
+	}
+	val := func(n netlist.NetID) logic.Value {
+		if n == 1 {
+			return logic.Zero
+		}
+		return logic.X
+	}
+	ins2 := []netlist.NetID{1, 2}
+	k, rem, out, err := TrySimplifyGate(logic.And, ins2, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, wrem, wout := SimplifyGate(logic.And, ins2, val)
+	if k != wk || out != wout || len(rem) != len(wrem) {
+		t.Fatalf("TrySimplifyGate = (%v %v %v), SimplifyGate = (%v %v %v)", k, rem, out, wk, wrem, wout)
 	}
 }

@@ -1,9 +1,24 @@
 package reduce
 
 import (
+	"fmt"
+
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
 )
+
+// TrySimplifyGate is the non-panicking form of SimplifyGate for leniently
+// parsed netlists: a combinational gate whose pin count is invalid for its
+// kind — which logic.Eval inside SimplifyGate would panic on — is reported
+// as an ErrMalformedGate error instead. The rewrite cascade only ever
+// constructs valid arities, so the upfront check covers the recursion.
+func TrySimplifyGate(k logic.Kind, ins []netlist.NetID, val func(netlist.NetID) logic.Value) (logic.Kind, []netlist.NetID, logic.Value, error) {
+	if k != logic.DFF && !k.ValidArity(len(ins)) {
+		return k, nil, logic.X, fmt.Errorf("%w: %s gate with %d inputs", ErrMalformedGate, k, len(ins))
+	}
+	kk, eff, out := SimplifyGate(k, ins, val)
+	return kk, eff, out, nil
+}
 
 // SimplifyGate computes the rewritten form of one gate given per-net
 // constant knowledge. It returns the effective kind, the effective input

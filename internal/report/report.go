@@ -30,6 +30,30 @@ type Document struct {
 	// Interrupted is set when the run was cancelled or hit its deadline and
 	// the document holds a partial result.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Failures lists recovered per-group panics: each named group
+	// contributed no words, every other group's words are complete. Absent
+	// on a healthy run.
+	Failures []GroupFailure `json:"failures,omitempty"`
+	// Degradations lists subgroups that hit a resource budget and fell back
+	// to the full-structural match; DegradedGroups counts affected groups.
+	Degradations   []Degradation `json:"degradations,omitempty"`
+	DegradedGroups int           `json:"degraded_groups,omitempty"`
+}
+
+// GroupFailure is one recovered group-pipeline panic. The stack is omitted:
+// it belongs in logs, not in a machine-readable result document.
+type GroupFailure struct {
+	Group   int    `json:"group"`
+	Stage   string `json:"stage"`
+	Message string `json:"message"`
+}
+
+// Degradation is one budget-triggered fallback to the structural match.
+type Degradation struct {
+	Group    int    `json:"group"`
+	Subgroup string `json:"subgroup"`
+	Reason   string `json:"reason"`
+	Detail   string `json:"detail"`
 }
 
 // Stats mirrors the design statistics.

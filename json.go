@@ -22,6 +22,17 @@ func WriteJSON(w io.Writer, d *Design, rep *Report, ev *Evaluation, includeAll b
 		ControlSignalsUsed:  rep.ControlSignalsUsed,
 		ControlSignalsFound: rep.ControlSignalsFound,
 		Interrupted:         rep.Interrupted,
+		DegradedGroups:      rep.DegradedGroups,
+	}
+	for _, f := range rep.Failures {
+		doc.Failures = append(doc.Failures, report.GroupFailure{
+			Group: f.Group, Stage: f.Stage, Message: f.Message,
+		})
+	}
+	for _, dg := range rep.Degradations {
+		doc.Degradations = append(doc.Degradations, report.Degradation{
+			Group: dg.Group, Subgroup: dg.Subgroup, Reason: dg.Reason, Detail: dg.Detail,
+		})
 	}
 	doc.SetRuntime(runtime)
 	words := rep.Words
