@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check faults bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
+.PHONY: build test check faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ check:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) faults
+	$(MAKE) serve-smoke
 
 # faults runs the fault-injection matrix under the race detector: the guard
 # package's own tests, every stage-level injection point (TestFaultMatrix
@@ -33,6 +34,13 @@ check:
 faults:
 	$(GO) test -race ./internal/guard/
 	$(GO) test -race -run '^TestFault' ./internal/core/ ./cmd/wordid/ .
+
+# serve-smoke boots the wordidd daemon end to end under the race detector:
+# listen on an ephemeral port, submit a benchmark job over HTTP, poll it to
+# completion, resubmit for a cache hit, check /metrics balances, then drain
+# via SIGTERM and require exit 0.
+serve-smoke:
+	$(GO) test -race -count=1 -run '^TestServeSmoke$$' -v ./cmd/wordidd/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -1,0 +1,111 @@
+// Command wordidd serves the word-identification pipeline as an HTTP/JSON
+// daemon: clients POST a gate-level Verilog netlist (or the name of a
+// generated benchmark profile) and poll for the finished report, while the
+// daemon runs jobs on a bounded worker pool with per-job deadlines and a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	wordidd [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT     listen address (default 127.0.0.1:8080; port 0 picks one)
+//	-workers N          concurrent identification jobs (default GOMAXPROCS)
+//	-queue N            queued jobs beyond the running ones (default 64)
+//	-cache N            cached reports, LRU (default 256; 0 disables)
+//	-default-timeout D  per-job deadline when the request sets none (default 0 = none)
+//	-max-timeout D      ceiling clamped onto every per-job deadline (default 0 = none)
+//
+// API:
+//
+//	POST /v1/jobs          submit {"verilog": ...} or {"bench": "b08a"}; 202, or 200 on cache hit
+//	GET  /v1/jobs          list jobs in submission order
+//	GET  /v1/jobs/{id}     poll; the report rides along once status is "done"
+//	GET  /metrics          server counters + merged per-stage pipeline observability
+//	GET  /healthz          liveness probe
+//
+// SIGINT/SIGTERM drain in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gatewords/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wordidd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent identification jobs (default GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued jobs beyond the running ones (default 64)")
+	cache := fs.Int("cache", 0, "cached reports, LRU (default 256)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-job deadline when the request sets none (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "ceiling clamped onto every per-job deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: wordidd [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "wordidd: %v\n", err)
+		return 1
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "wordidd: listening on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve never returns nil; anything here is a real listener failure.
+		svc.Close()
+		fmt.Fprintf(stderr, "wordidd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	fmt.Fprintln(stdout, "wordidd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "wordidd: shutdown: %v\n", err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	svc.Close()
+	fmt.Fprintln(stdout, "wordidd: drained")
+	return 0
+}

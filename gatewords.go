@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"gatewords/internal/bench"
 	"gatewords/internal/core"
@@ -118,6 +119,14 @@ func (d *Design) WriteDOT(w io.Writer) error { return d.nl.WriteDOT(w) }
 
 // Name returns the module name.
 func (d *Design) Name() string { return d.nl.Name }
+
+// Fingerprint returns a canonical content hash of the design as 32 hex
+// digits: equal for two designs exactly when they hold the same nets and
+// gates, regardless of declaration order; gate instance names are ignored.
+// It is the content-addressing key of the wordidd result cache — repeated
+// submissions of one design, including re-emissions with shuffled
+// declarations, collapse onto one entry.
+func (d *Design) Fingerprint() string { return d.nl.Fingerprint() }
 
 // Stats summarizes the design.
 type Stats struct {
@@ -232,7 +241,10 @@ func (o Options) toCore() core.Options {
 		Workers:         o.Workers,
 		VerifyReduction: o.VerifyReduction,
 		Context:         o.Context,
-		Observer:        o.Observer.recorder(),
+		// Observer is deliberately absent: Identify hands core a private
+		// per-run recorder and folds it into Options.Observer once, under
+		// the Observer's lock, so one Observer can be shared by concurrent
+		// Identify calls (see newRunRecorder / absorb).
 		Budgets: guard.Budgets{
 			MaxConeGates:      o.Budgets.MaxConeGates,
 			MaxSubgroupPairs:  o.Budgets.MaxSubgroupPairs,
@@ -245,11 +257,16 @@ func (o Options) toCore() core.Options {
 // Observer accumulates pipeline observability: wall time per stage
 // (grouping, matching, control-signal discovery, the trial/reduce loop,
 // verification), work counters (trials, reductions, propagation visits, SAT
-// effort), and peak gauges. One Observer may be shared across sequential
-// Identify calls to aggregate them; parallel runs merge per-worker recorders
-// into it deterministically.
+// effort), and peak gauges. One Observer may be shared across Identify calls
+// — sequential or concurrent — to aggregate them: each run records into a
+// private recorder and folds it in under the Observer's lock when the run
+// finishes, so concurrent runs never alias one recorder and a reader never
+// sees a half-merged run. Parallel runs merge per-worker recorders
+// deterministically before that fold.
 type Observer struct {
-	rec *obs.Recorder
+	mu     sync.Mutex
+	rec    *obs.Recorder
+	labels bool
 }
 
 // NewObserver returns an empty Observer.
@@ -260,28 +277,83 @@ func NewObserver() *Observer { return &Observer{rec: obs.New()} }
 // stage (`go tool pprof -tagfocus stage=trial`). Enable it only while a CPU
 // profile is being taken — each labeled region allocates.
 func (o *Observer) EnableProfileLabels() {
-	if o != nil {
-		o.rec.EnableProfileLabels()
+	if o == nil {
+		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.labels = true
+	o.rec.EnableProfileLabels()
 }
 
-func (o *Observer) recorder() *obs.Recorder {
+// newRunRecorder hands a run its private recorder (inheriting the
+// profile-labels setting); nil Observer means no observation.
+func (o *Observer) newRunRecorder() *obs.Recorder {
 	if o == nil {
 		return nil
 	}
-	return o.rec
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r := obs.New()
+	if o.labels {
+		r.EnableProfileLabels()
+	}
+	return r
+}
+
+// absorb folds one finished run's private recorder into the Observer.
+func (o *Observer) absorb(r *obs.Recorder) {
+	if o == nil || r == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rec.Merge(r)
+}
+
+// snapshot returns a private copy of the current state (nil on a nil
+// Observer, which every obs.Recorder method accepts).
+func (o *Observer) snapshot() *obs.Recorder {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rec.Clone()
+}
+
+// Merge folds other's observations into o (stage times and counters add,
+// gauges keep the peak). Both Observers may be in concurrent use; merging an
+// Observer into itself, or a nil on either side, is a no-op. This is how a
+// server aggregates per-job Observers into one served metrics view.
+func (o *Observer) Merge(other *Observer) {
+	if o == nil || other == nil || o == other {
+		return
+	}
+	o.absorb(other.snapshot())
+}
+
+// Snapshot returns an independent copy of the Observer's current state, safe
+// to render while the original keeps accumulating concurrent runs.
+func (o *Observer) Snapshot() *Observer {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return &Observer{rec: o.rec.Clone(), labels: o.labels}
 }
 
 // WriteText renders the collected breakdown in aligned human-readable form.
-func (o *Observer) WriteText(w io.Writer) error { return o.recorder().WriteText(w) }
+func (o *Observer) WriteText(w io.Writer) error { return o.snapshot().WriteText(w) }
 
 // MarshalJSON renders the breakdown as deterministic JSON (stages, counters,
 // and gauges as arrays in a fixed order).
-func (o *Observer) MarshalJSON() ([]byte, error) { return o.recorder().MarshalJSON() }
+func (o *Observer) MarshalJSON() ([]byte, error) { return o.snapshot().MarshalJSON() }
 
 // StageLine renders the per-stage time split on one line
 // ("group=0.1ms match=2.3ms ...").
-func (o *Observer) StageLine() string { return o.recorder().StageLine() }
+func (o *Observer) StageLine() string { return o.snapshot().StageLine() }
 
 // Word is one identified word.
 type Word struct {
@@ -398,7 +470,14 @@ func Identify(d *Design, opt Options) (*Report, error) {
 	if err := lintGate(d, opt.Lint); err != nil {
 		return nil, err
 	}
-	res := core.Identify(d.nl, opt.toCore())
+	copt := opt.toCore()
+	// The run records into a recorder of its own; Options.Observer receives
+	// the whole run in one locked fold below, which is what makes sharing an
+	// Observer across concurrent Identify calls safe.
+	runRec := opt.Observer.newRunRecorder()
+	copt.Observer = runRec
+	res := core.Identify(d.nl, copt)
+	opt.Observer.absorb(runRec)
 	rep := &Report{Technique: "control-signals", Trace: res.Trace, Interrupted: res.Stats.Interrupted}
 	for _, w := range res.Words {
 		rep.Words = append(rep.Words, d.coreWord(w))

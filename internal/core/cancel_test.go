@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"gatewords/internal/netlist"
+)
+
+// countdownCtx is a context whose Err() flips to context.Canceled after a
+// fixed number of observations. Because cancelled() is the pipeline's single
+// cooperative check point, this drives cancellation into every interior
+// position of a run deterministically — something a timer can't do.
+type countdownCtx struct {
+	context.Context
+	remaining int64
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt64(&c.remaining, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func wordKeys(words [][]netlist.NetID) []string {
+	keys := make([]string, len(words))
+	for i, w := range words {
+		keys[i] = fmt.Sprint(w)
+	}
+	return keys
+}
+
+// isSubsequence reports whether sub appears within full in order.
+func isSubsequence(sub, full []string) bool {
+	j := 0
+	for _, s := range sub {
+		for j < len(full) && full[j] != s {
+			j++
+		}
+		if j == len(full) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// TestCancelMidRunPartialResult sweeps the cancellation point across the
+// whole run, sequential and parallel: wherever the context dies, the partial
+// result must be a duplicate-free, order-preserving subsequence of the clean
+// run's words (a group contributes either all, a prefix, or none of its
+// words — never a word whose evidence was cut short, never a word twice),
+// and any run that lost words must say so via Stats.Interrupted.
+func TestCancelMidRunPartialResult(t *testing.T) {
+	nl := bigNet(t)
+	clean := Identify(nl, Options{})
+	cleanKeys := wordKeys(clean.GeneratedWords())
+	if len(cleanKeys) < 4 {
+		t.Fatalf("test net too small: %d clean words", len(cleanKeys))
+	}
+
+	for _, workers := range []int{0, 4} {
+		sawPartial := false
+		for k := int64(0); k <= 64; k++ {
+			ctx := &countdownCtx{Context: context.Background(), remaining: k}
+			res := Identify(nl, Options{Workers: workers, Context: ctx})
+			keys := wordKeys(res.GeneratedWords())
+
+			seen := make(map[string]bool, len(keys))
+			for _, key := range keys {
+				if seen[key] {
+					t.Fatalf("workers=%d k=%d: word %s merged twice", workers, k, key)
+				}
+				seen[key] = true
+			}
+			if !isSubsequence(keys, cleanKeys) {
+				t.Fatalf("workers=%d k=%d: partial words not a subsequence of the clean run\npartial: %v\nclean:   %v",
+					workers, k, keys, cleanKeys)
+			}
+			if len(keys) < len(cleanKeys) && !res.Stats.Interrupted {
+				t.Fatalf("workers=%d k=%d: dropped %d words without marking Interrupted",
+					workers, k, len(cleanKeys)-len(keys))
+			}
+			if !res.Stats.Interrupted && !reflect.DeepEqual(keys, cleanKeys) {
+				t.Fatalf("workers=%d k=%d: uninterrupted run differs from clean run", workers, k)
+			}
+			if workers == 0 {
+				// Sequential runs visit groups in order, so the partial
+				// result is not just a subsequence but a strict prefix.
+				if !reflect.DeepEqual(keys, cleanKeys[:len(keys)]) {
+					t.Fatalf("k=%d: sequential partial result is not a prefix\npartial: %v\nclean:   %v",
+						k, keys, cleanKeys)
+				}
+			}
+			if res.Stats.Interrupted && len(keys) < len(cleanKeys) {
+				sawPartial = true
+			}
+		}
+		if !sawPartial {
+			t.Errorf("workers=%d: countdown sweep never produced a proper partial result; test lost its bite", workers)
+		}
+
+		// A countdown that outlives the run must change nothing.
+		ctx := &countdownCtx{Context: context.Background(), remaining: 1 << 40}
+		res := Identify(nl, Options{Workers: workers, Context: ctx})
+		if res.Stats.Interrupted {
+			t.Errorf("workers=%d: unexhausted countdown marked the run interrupted", workers)
+		}
+		if !reflect.DeepEqual(wordKeys(res.GeneratedWords()), cleanKeys) {
+			t.Errorf("workers=%d: unexhausted countdown changed the result", workers)
+		}
+	}
+}

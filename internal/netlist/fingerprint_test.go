@@ -1,0 +1,165 @@
+package netlist
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+// buildFP assembles a tiny two-gate circuit, with the declaration order of
+// nets and gates controlled by reorder, so tests can pin exactly what the
+// fingerprint may and may not depend on.
+func buildFP(t *testing.T, reorder bool) *Netlist {
+	t.Helper()
+	nl := New("fp")
+	declareNets := []string{"a", "b", "x", "y"}
+	if reorder {
+		declareNets = []string{"y", "b", "x", "a"}
+	}
+	for _, n := range declareNets {
+		nl.MustNet(n)
+	}
+	a, _ := nl.NetByName("a")
+	b, _ := nl.NetByName("b")
+	x, _ := nl.NetByName("x")
+	y, _ := nl.NetByName("y")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	nl.MarkPO(y)
+	if reorder {
+		// Gate declaration order reversed; same gates, same pin order.
+		nl.MustGate("g2", logic.Not, y, x)
+		nl.MustGate("g1", logic.And, x, a, b)
+	} else {
+		nl.MustGate("g1", logic.And, x, a, b)
+		nl.MustGate("g2", logic.Not, y, x)
+	}
+	return nl
+}
+
+func TestFingerprintCanonicalUnderReordering(t *testing.T) {
+	f1 := buildFP(t, false).Fingerprint()
+	f2 := buildFP(t, true).Fingerprint()
+	if f1 != f2 {
+		t.Errorf("fingerprint depends on declaration order: %s vs %s", f1, f2)
+	}
+	if len(f1) != 32 {
+		t.Errorf("fingerprint %q: want 32 hex digits", f1)
+	}
+}
+
+func TestFingerprintIgnoresGateNames(t *testing.T) {
+	nl := buildFP(t, false)
+	renamed := New("fp")
+	for _, n := range []string{"a", "b", "x", "y"} {
+		renamed.MustNet(n)
+	}
+	a, _ := renamed.NetByName("a")
+	b, _ := renamed.NetByName("b")
+	x, _ := renamed.NetByName("x")
+	y, _ := renamed.NetByName("y")
+	renamed.MarkPI(a)
+	renamed.MarkPI(b)
+	renamed.MarkPO(y)
+	renamed.MustGate("other1", logic.And, x, a, b)
+	renamed.MustGate("other2", logic.Not, y, x)
+	if nl.Fingerprint() != renamed.Fingerprint() {
+		t.Error("fingerprint depends on gate instance names")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := buildFP(t, false)
+	cases := map[string]func(t *testing.T) *Netlist{
+		// Different gate kind.
+		"kind": func(t *testing.T) *Netlist {
+			nl := New("fp")
+			for _, n := range []string{"a", "b", "x", "y"} {
+				nl.MustNet(n)
+			}
+			a, _ := nl.NetByName("a")
+			b, _ := nl.NetByName("b")
+			x, _ := nl.NetByName("x")
+			y, _ := nl.NetByName("y")
+			nl.MarkPI(a)
+			nl.MarkPI(b)
+			nl.MarkPO(y)
+			nl.MustGate("g1", logic.Or, x, a, b)
+			nl.MustGate("g2", logic.Not, y, x)
+			return nl
+		},
+		// Different PI/PO marking.
+		"ports": func(t *testing.T) *Netlist {
+			nl := buildFP(t, false)
+			x, _ := nl.NetByName("x")
+			nl.MarkPO(x)
+			return nl
+		},
+		// Different module name.
+		"module": func(t *testing.T) *Netlist {
+			nl := buildFP(t, false)
+			nl.Name = "fp2"
+			return nl
+		},
+		// Different net name.
+		"netname": func(t *testing.T) *Netlist {
+			nl := New("fp")
+			for _, n := range []string{"a", "c", "x", "y"} {
+				nl.MustNet(n)
+			}
+			a, _ := nl.NetByName("a")
+			c, _ := nl.NetByName("c")
+			x, _ := nl.NetByName("x")
+			y, _ := nl.NetByName("y")
+			nl.MarkPI(a)
+			nl.MarkPI(c)
+			nl.MarkPO(y)
+			nl.MustGate("g1", logic.And, x, a, c)
+			nl.MustGate("g2", logic.Not, y, x)
+			return nl
+		},
+	}
+	for name, build := range cases {
+		if got := build(t).Fingerprint(); got == base.Fingerprint() {
+			t.Errorf("%s: variant collides with base fingerprint %s", name, got)
+		}
+	}
+}
+
+// TestFingerprintPinOrderSignificant pins that input pin order is part of
+// the identity: MUX2's [sel, a, b] is not the same circuit as [a, sel, b].
+func TestFingerprintPinOrderSignificant(t *testing.T) {
+	build := func(swap bool) *Netlist {
+		nl := New("fp")
+		for _, n := range []string{"s", "a", "b", "y"} {
+			id := nl.MustNet(n)
+			if n != "y" {
+				nl.MarkPI(id)
+			}
+		}
+		s, _ := nl.NetByName("s")
+		a, _ := nl.NetByName("a")
+		b, _ := nl.NetByName("b")
+		y, _ := nl.NetByName("y")
+		nl.MarkPO(y)
+		if swap {
+			nl.MustGate("m", logic.Mux2, y, a, s, b)
+		} else {
+			nl.MustGate("m", logic.Mux2, y, s, a, b)
+		}
+		return nl
+	}
+	if build(false).Fingerprint() == build(true).Fingerprint() {
+		t.Error("fingerprint ignores input pin order")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	nl := buildFP(t, false)
+	if nl.Fingerprint() != nl.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+	if nl.Fingerprint() != nl.Clone().Fingerprint() {
+		t.Error("fingerprint differs on a clone")
+	}
+}

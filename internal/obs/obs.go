@@ -227,6 +227,18 @@ func (r *Recorder) Max(g Gauge, v int64) {
 	r.gauges[g] = v
 }
 
+// Clone returns an independent copy of the recorder's current state — the
+// snapshot primitive behind serving live observability (a server holds its
+// aggregate recorder under a lock, clones it, and renders the clone outside
+// the lock). Cloning nil returns nil, which every Recorder method accepts.
+func (r *Recorder) Clone() *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := *r // the state is fixed-size arrays; shallow copy is a deep copy
+	return &c
+}
+
 // Merge folds o into r: stage times, span counts, and counters add; gauges
 // keep the maximum. Merging nil (either side nil) is a no-op.
 func (r *Recorder) Merge(o *Recorder) {

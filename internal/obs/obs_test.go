@@ -110,6 +110,33 @@ func TestMergeSumsAndMaxes(t *testing.T) {
 	}
 }
 
+// TestCloneIsIndependent pins the snapshot contract: a clone carries the
+// source's exact state, and neither side observes later writes to the other.
+func TestCloneIsIndependent(t *testing.T) {
+	if (*Recorder)(nil).Clone() != nil {
+		t.Fatal("Clone of nil recorder should be nil")
+	}
+	r := New()
+	r.stageNS[StageTrial] = 100
+	r.stageSpans[StageTrial] = 1
+	r.Add(CtrTrials, 5)
+	r.Max(GaugeSubgroupBits, 9)
+	r.EnableProfileLabels()
+	c := r.Clone()
+	if c.StageNS(StageTrial) != 100 || c.Count(CtrTrials) != 5 || c.GaugeValue(GaugeSubgroupBits) != 9 {
+		t.Fatalf("clone lost state: %d ns, %d trials, %d gauge",
+			c.StageNS(StageTrial), c.Count(CtrTrials), c.GaugeValue(GaugeSubgroupBits))
+	}
+	if !c.ProfileLabelsEnabled() {
+		t.Error("clone lost the profile-labels flag")
+	}
+	r.Add(CtrTrials, 1)
+	c.Add(CtrTrials, 10)
+	if r.Count(CtrTrials) != 6 || c.Count(CtrTrials) != 15 {
+		t.Errorf("clone aliases source: r=%d c=%d", r.Count(CtrTrials), c.Count(CtrTrials))
+	}
+}
+
 // TestJSONDeterministic pins byte-identical rendering for equal recorders —
 // the property the committed BENCH_pipeline.json and golden diffs rely on.
 func TestJSONDeterministic(t *testing.T) {

@@ -1,0 +1,57 @@
+package service
+
+import "container/list"
+
+// resultCache is a small LRU over serialized report documents, keyed by the
+// canonical job key (design fingerprint × normalized options). It is not
+// internally locked: the Server owns it and every access happens under the
+// Server's mutex, which also keeps the hit/miss counters coherent with the
+// lookups they describe.
+type resultCache struct {
+	cap     int
+	byKey   map[string]*list.Element
+	recency *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key    string
+	report []byte
+}
+
+// newResultCache returns a cache holding at most capacity reports;
+// capacity <= 0 disables caching (every lookup misses, every store drops).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		byKey:   make(map[string]*list.Element),
+		recency: list.New(),
+	}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.recency.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+func (c *resultCache) put(key string, report []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.recency.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.recency.PushFront(&cacheEntry{key: key, report: report})
+	for c.recency.Len() > c.cap {
+		oldest := c.recency.Back()
+		c.recency.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.recency.Len() }

@@ -1,0 +1,486 @@
+// Package service turns word identification into a long-running daemon: an
+// HTTP/JSON job server over the gatewords facade, composing the pieces the
+// pipeline already provides — per-job context deadlines (Options.Context),
+// per-group failure domains and resource budgets (internal/guard), and
+// per-run observability (internal/obs) — behind a bounded worker pool.
+//
+// The serving model is jobs, not requests: POST /v1/jobs accepts a netlist
+// (inline Verilog or a named internal/bench profile) plus per-job options
+// and returns a job ID immediately; GET /v1/jobs/{id} polls the job until
+// the full report document is attached. Identification cost is unbounded in
+// the input, so holding an HTTP connection open for it would be the wrong
+// contract under heavy traffic.
+//
+// Repeat submissions are the common case a service sees, so results are
+// content-addressed: the cache key is the design's canonical fingerprint
+// (declaration-order-independent, see netlist.Fingerprint) combined with
+// the normalized job options. A duplicate of a completed job is served from
+// the cache in O(1) with byte-identical report JSON; a duplicate of a job
+// still queued or running coalesces onto it and shares its one pipeline
+// execution. GET /metrics serves the server counters plus the merged
+// observability recorders of every completed job.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gatewords"
+)
+
+// Config sizes the server. The zero value is serviceable: GOMAXPROCS
+// workers, a 64-job queue, a 256-entry result cache, no default deadline.
+type Config struct {
+	// Workers is the job worker-pool size (<= 0 selects GOMAXPROCS). It
+	// bounds concurrent pipeline executions; queued jobs wait.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (<= 0 selects 64).
+	// A submission that finds the queue full is rejected with 503 rather
+	// than admitted into an unbounded backlog.
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache (0 selects 256,
+	// negative disables caching).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that set no timeout of their own
+	// (0 = none): the per-job context deadline, honored cooperatively by
+	// the pipeline, which reports a partial result with interrupted set.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-job timeouts (0 = uncapped): a job asking for
+	// more is clamped, and a job asking for nothing gets MaxTimeout when
+	// no DefaultTimeout applies.
+	MaxTimeout time.Duration
+	// MaxRequestBytes bounds a submission body (<= 0 selects 32 MiB).
+	MaxRequestBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 32 << 20
+	}
+	return c
+}
+
+// Job states, as served in status documents.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobOptions is the wire form of per-job pipeline options. Field names
+// mirror gatewords.Options; zero values select the paper defaults there.
+// Workers sets the job's intra-run group parallelism and is excluded from
+// the cache key (parallel and sequential runs produce identical output, an
+// invariant the pipeline pins under test).
+type JobOptions struct {
+	Depth                int     `json:"depth,omitempty"`
+	MaxAssign            int     `json:"max_assign,omitempty"`
+	Theta                float64 `json:"theta,omitempty"`
+	DisablePartialGroups bool    `json:"disable_partial_groups,omitempty"`
+	DFFInputsOnly        bool    `json:"dff_inputs_only,omitempty"`
+	Workers              int     `json:"workers,omitempty"`
+	// Lint is "", "off", "lenient", or "strict" (gatewords.LintMode).
+	Lint            string `json:"lint,omitempty"`
+	VerifyReduction bool   `json:"verify_reduction,omitempty"`
+	// TimeoutMS bounds the job's wall time; expiry yields a partial report
+	// with interrupted set (which is never cached). Normalized at submission
+	// against Config.DefaultTimeout / MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeAll keeps 1-bit words in the report; Evaluate scores against
+	// the design's golden reference words.
+	IncludeAll bool `json:"include_all,omitempty"`
+	Evaluate   bool `json:"evaluate,omitempty"`
+	FailFast   bool `json:"fail_fast,omitempty"`
+	// Budgets (see gatewords.Budgets); 0 = unlimited.
+	MaxConeGates      int `json:"max_cone_gates,omitempty"`
+	MaxSubgroupPairs  int `json:"max_subgroup_pairs,omitempty"`
+	MaxTrialsPerGroup int `json:"max_trials_per_group,omitempty"`
+}
+
+func (o JobOptions) lintMode() (gatewords.LintMode, error) {
+	switch o.Lint {
+	case "", "off":
+		return gatewords.LintOff, nil
+	case "lenient":
+		return gatewords.LintLenient, nil
+	case "strict":
+		return gatewords.LintStrict, nil
+	}
+	return gatewords.LintOff, fmt.Errorf("unknown lint mode %q (want off, lenient, or strict)", o.Lint)
+}
+
+// facadeOptions maps the wire options onto gatewords.Options for one run.
+func (o JobOptions) facadeOptions(ctx context.Context, observer *gatewords.Observer) (gatewords.Options, error) {
+	lint, err := o.lintMode()
+	if err != nil {
+		return gatewords.Options{}, err
+	}
+	return gatewords.Options{
+		Depth:                o.Depth,
+		MaxAssign:            o.MaxAssign,
+		Theta:                o.Theta,
+		DisablePartialGroups: o.DisablePartialGroups,
+		DFFInputsOnly:        o.DFFInputsOnly,
+		Workers:              o.Workers,
+		Lint:                 lint,
+		VerifyReduction:      o.VerifyReduction,
+		Context:              ctx,
+		Observer:             observer,
+		Budgets: gatewords.Budgets{
+			MaxConeGates:      o.MaxConeGates,
+			MaxSubgroupPairs:  o.MaxSubgroupPairs,
+			MaxTrialsPerGroup: o.MaxTrialsPerGroup,
+		},
+		FailFast: o.FailFast,
+	}, nil
+}
+
+// cacheKey combines the design fingerprint with every option that can
+// change the report. Workers is zeroed (no output effect); TimeoutMS has
+// already been normalized to the effective deadline. The options tuple is
+// hashed through its canonical JSON encoding (struct field order is fixed),
+// following the same content-addressing idiom as the fingerprint itself.
+func cacheKey(fingerprint string, o JobOptions) string {
+	o.Workers = 0
+	enc, _ := json.Marshal(o) // struct of scalars; cannot fail
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range enc {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return fmt.Sprintf("%s-%016x", fingerprint, h)
+}
+
+// Job is one identification submission. All mutable fields are guarded by
+// the Server's mutex; Done is closed exactly once when the job reaches a
+// terminal state.
+type Job struct {
+	ID  string
+	Key string
+	// Module is the design's module name (the bench profile name for bench
+	// submissions).
+	Module string
+	State  string
+	// Cached marks a job served from the result cache without execution.
+	Cached bool
+	// CoalescedWith names the in-flight job this duplicate submission
+	// attached to ("" for primaries).
+	CoalescedWith string
+	// Interrupted mirrors the report's interrupted flag (deadline expiry).
+	Interrupted bool
+	// Err is the failure message for StateFailed jobs.
+	Err string
+	// Report is the serialized report.Document for StateDone jobs.
+	Report []byte
+	// Done is closed when the job reaches done or failed.
+	Done chan struct{}
+
+	opts    JobOptions
+	timeout time.Duration
+	design  *gatewords.Design // released once the job is terminal
+	waiters []*Job            // coalesced duplicates completed alongside
+}
+
+// Counters are the server-level metrics, served under "server" in /metrics.
+// Queued and Running are current levels; the rest accumulate monotonically.
+type Counters struct {
+	// JobsAccepted counts every admitted submission, including cache hits
+	// and coalesced duplicates; JobsRejected counts queue-full refusals.
+	JobsAccepted int64 `json:"jobs_accepted"`
+	JobsRejected int64 `json:"jobs_rejected"`
+	JobsQueued   int64 `json:"jobs_queued"`
+	JobsRunning  int64 `json:"jobs_running"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	// JobsCoalesced counts duplicates that attached to an in-flight job and
+	// shared its single execution.
+	JobsCoalesced int64 `json:"jobs_coalesced"`
+	// PipelineRuns counts actual identification executions — the number the
+	// cache and coalescing exist to keep below JobsAccepted.
+	PipelineRuns int64 `json:"pipeline_runs"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int64 `json:"cache_entries"`
+}
+
+// Server is the identification daemon: job store, worker pool, result
+// cache, and merged observability, behind the HTTP handler from Handler.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// observer aggregates every completed job's per-run Observer; it has
+	// its own internal lock, so /metrics snapshots it without holding mu
+	// against running jobs.
+	observer *gatewords.Observer
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // key -> primary queued/running job
+	cache    *resultCache
+	counters Counters
+
+	// testJobGate, when non-nil, makes every worker receive one value
+	// before starting a job — test-only, to pin queue states without races.
+	testJobGate chan struct{}
+}
+
+// New starts a server and its worker pool. Stop it with Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		observer: gatewords.NewObserver(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cache:    newResultCache(cfg.CacheEntries),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops admissions, drains the queued jobs through the pool, and
+// waits for in-flight jobs to finish. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue) // all sends hold mu and check closed first
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// effectiveTimeout normalizes a job's requested deadline against the
+// server's default and cap.
+func (s *Server) effectiveTimeout(requested time.Duration) time.Duration {
+	t := requested
+	if t <= 0 {
+		t = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (t <= 0 || t > s.cfg.MaxTimeout) {
+		t = s.cfg.MaxTimeout
+	}
+	return t
+}
+
+// submitError is a client-visible admission failure with an HTTP status.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// Submit admits one parsed design as a job. The design must not be mutated
+// by the caller afterwards. The returned job is already terminal for cache
+// hits (State done, Cached set).
+func (s *Server) Submit(d *gatewords.Design, opts JobOptions) (*Job, error) {
+	if _, err := opts.lintMode(); err != nil {
+		return nil, &submitError{status: 400, msg: err.Error()}
+	}
+	timeout := s.effectiveTimeout(time.Duration(opts.TimeoutMS) * time.Millisecond)
+	opts.TimeoutMS = timeout.Milliseconds()
+	key := cacheKey(d.Fingerprint(), opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &submitError{status: 503, msg: "server is shutting down"}
+	}
+	s.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		Key:     key,
+		Module:  d.Name(),
+		Done:    make(chan struct{}),
+		opts:    opts,
+		timeout: timeout,
+	}
+
+	if report, ok := s.cache.get(key); ok {
+		job.State = StateDone
+		job.Cached = true
+		job.Report = report
+		close(job.Done)
+		s.counters.CacheHits++
+		s.registerLocked(job)
+		s.counters.JobsDone++
+		return job, nil
+	}
+	if primary, ok := s.inflight[key]; ok {
+		job.State = StateQueued
+		job.CoalescedWith = primary.ID
+		primary.waiters = append(primary.waiters, job)
+		s.counters.JobsCoalesced++
+		s.registerLocked(job)
+		return job, nil
+	}
+	// First sighting of this key: a real execution. Admission and the
+	// enqueue are one critical section, so the queue can never hold a job
+	// the store does not know.
+	job.State = StateQueued
+	job.design = d
+	select {
+	case s.queue <- job:
+	default:
+		s.seq-- // the job was never admitted
+		s.counters.JobsRejected++
+		return nil, &submitError{
+			status: 503,
+			msg:    fmt.Sprintf("job queue full (%d pending)", cap(s.queue)),
+		}
+	}
+	s.counters.CacheMisses++
+	s.counters.JobsQueued++
+	s.inflight[key] = job
+	s.registerLocked(job)
+	return job, nil
+}
+
+func (s *Server) registerLocked(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.counters.JobsAccepted++
+}
+
+// Lookup returns the job with the given ID.
+func (s *Server) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one primary job on a worker: per-job deadline, private
+// Observer, one gatewords.Identify, serialized report. Completion moves the
+// job — and every duplicate coalesced onto it — to a terminal state, feeds
+// the cache, and folds the job's observations into the served aggregate.
+func (s *Server) runJob(job *Job) {
+	if gate := s.testJobGate; gate != nil {
+		<-gate
+	}
+	s.mu.Lock()
+	job.State = StateRunning
+	s.counters.JobsQueued--
+	s.counters.JobsRunning++
+	s.counters.PipelineRuns++
+	s.mu.Unlock()
+
+	observer := gatewords.NewObserver()
+	report, interrupted, err := executeJob(job, observer)
+
+	// The per-job recorder merges whether the job succeeded or failed — a
+	// failing job's observability is exactly when /metrics matters.
+	s.observer.Merge(observer)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.JobsRunning--
+	delete(s.inflight, job.Key)
+	if err == nil && !interrupted {
+		// Interrupted (deadline-truncated) reports are wall-clock artifacts,
+		// not properties of the design; they are served but never cached.
+		s.cache.put(job.Key, report)
+	}
+	s.finishLocked(job, report, interrupted, err)
+	for _, w := range job.waiters {
+		s.finishLocked(w, report, interrupted, err)
+	}
+	job.waiters = nil
+}
+
+// executeJob is the panic boundary around one pipeline run: the pipeline
+// already isolates per-group panics, and anything escaping it becomes a
+// failed job rather than a dead worker.
+func executeJob(job *Job, observer *gatewords.Observer) (report []byte, interrupted bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("identification panicked: %v", v)
+		}
+	}()
+	ctx := context.Background()
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	fo, err := job.opts.facadeOptions(ctx, observer)
+	if err != nil {
+		return nil, false, err
+	}
+	start := time.Now()
+	rep, err := gatewords.Identify(job.design, fo)
+	if err != nil {
+		return nil, false, err
+	}
+	var evp *gatewords.Evaluation
+	if job.opts.Evaluate {
+		ev := gatewords.Evaluate(job.design, rep)
+		evp = &ev
+	}
+	var buf bytes.Buffer
+	if err := gatewords.WriteJSON(&buf, job.design, rep, evp, job.opts.IncludeAll, time.Since(start)); err != nil {
+		return nil, false, err
+	}
+	return buf.Bytes(), rep.Interrupted, nil
+}
+
+func (s *Server) finishLocked(job *Job, report []byte, interrupted bool, err error) {
+	if err != nil {
+		job.State = StateFailed
+		job.Err = err.Error()
+		s.counters.JobsFailed++
+	} else {
+		job.State = StateDone
+		job.Report = report
+		job.Interrupted = interrupted
+		s.counters.JobsDone++
+	}
+	job.design = nil // the serialized report is the result; free the netlist
+	close(job.Done)
+}
+
+// Metrics returns a consistent snapshot of the server counters and the
+// merged pipeline observability of completed jobs.
+func (s *Server) Metrics() (Counters, *gatewords.Observer) {
+	s.mu.Lock()
+	c := s.counters
+	c.CacheEntries = int64(s.cache.len())
+	s.mu.Unlock()
+	return c, s.observer.Snapshot()
+}

@@ -1,0 +1,66 @@
+package gatewords
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestReportJSONDeterministic pins the serving surface's byte stability on a
+// mid-size benchmark: identifying the same design twice — and once more with
+// the parallel pipeline — must yield byte-identical report JSON once the one
+// wall-clock field (runtime) is held fixed. This is what lets the service
+// cache serve stored bytes as if it had re-run the pipeline, and what keeps
+// map-iteration order out of assignments and per-word evaluation tables.
+func TestReportJSONDeterministic(t *testing.T) {
+	d, err := GenerateBenchmark("b14a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(opt Options) []byte {
+		rep, err := Identify(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := Evaluate(d, rep)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, d, rep, &ev, false, 7*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := render(Options{})
+	second := render(Options{})
+	if !bytes.Equal(first, second) {
+		t.Error("two sequential runs serialized differently")
+	}
+	parallel := render(Options{Workers: 4})
+	if !bytes.Equal(first, parallel) {
+		t.Error("parallel run serialized differently from sequential")
+	}
+	if len(first) == 0 || !bytes.HasPrefix(bytes.TrimSpace(first), []byte("{")) {
+		t.Fatalf("report is not a JSON object: %.60s", first)
+	}
+}
+
+// TestObserverJSONDeterministicCountersOnly pins /metrics-style stability at
+// the recorder level: two observers fed identical runs agree on every
+// counter, gauge, and span count (wall times are scheduling noise and are
+// the only permitted difference).
+func TestObserverJSONDeterministicCountersOnly(t *testing.T) {
+	d, err := GenerateBenchmark("b08a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() map[string]int64 {
+		o := NewObserver()
+		if _, err := Identify(d, Options{Observer: o}); err != nil {
+			t.Fatal(err)
+		}
+		return observerCounters(t, o)
+	}
+	if a, b := runOnce(), runOnce(); !mapsEqual(a, b) {
+		t.Errorf("identical runs produced different counters:\n%v\n%v", a, b)
+	}
+}
