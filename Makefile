@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
+.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,31 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the full pre-commit gate: vet, formatting, tests, race pass, and
-# the fault-injection matrix.
+# gatevet runs the repo's contract analyzers (internal/anlz/passes) over the
+# whole module: determinism (mapdet, norand), cancellation (ctxpoll), fault
+# isolation (guardgo), the closed obs schema (obskeys), and leaf-lock
+# discipline (lockbal). Exit 1 means findings; fix them or add a justified
+# //anlz:ignore.
+gatevet:
+	$(GO) run ./cmd/gatevet .
+
+# vet-fix is the triage loop for gatevet findings: deterministic JSON on
+# stdout (file/line/analyzer/message per finding), for piping into an editor
+# or review tooling. Exit codes match gatevet (0 clean / 1 findings / 2
+# analysis error).
+vet-fix:
+	$(GO) run ./cmd/gatevet -json .
+
+# check is the full pre-commit gate: vet, formatting, the contract
+# analyzers, the race-detector test pass (which subsumes the plain test
+# pass — every test runs exactly once, instrumented), and the
+# fault-injection matrix. gatevet runs before the test passes: contract
+# findings are cheaper to surface than a full race run.
 check:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test ./...
+	$(MAKE) gatevet
 	$(GO) test -race ./...
 	$(MAKE) faults
 	$(MAKE) serve-smoke

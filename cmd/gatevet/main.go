@@ -1,0 +1,182 @@
+// Command gatevet runs the repo's contract analyzers (internal/anlz/passes)
+// over the module: mapdet (no map-order leaks into output), ctxpoll (work
+// loops poll for cancellation), guardgo (goroutines carry recover
+// boundaries), obskeys (the obs enum schema stays closed), norand (injected
+// randomness and clocks only), and lockbal (facade mutexes are leaf locks).
+//
+// Usage:
+//
+//	gatevet [-json] [-only names] [-disable names] [dir]
+//	gatevet -list
+//
+// dir defaults to "."; the loader walks up to the enclosing go.mod and
+// analyzes every non-test package of that module, entirely offline (module
+// and standard-library sources are type-checked from disk). Findings are
+// suppressible in place with `//anlz:ignore <analyzer> <reason>`.
+//
+// The exit code follows gatelint's convention, collapsed to three states:
+// 0 for a clean tree, 1 when findings are reported, 2 when the analysis
+// itself fails (no module, unparseable or untypecheckable source, unknown
+// analyzer names in -only/-disable).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/passes"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json document: deterministic field order, findings sorted
+// by position.
+type report struct {
+	Dir      string            `json:"dir"`
+	Module   string            `json:"module"`
+	Count    int               `json:"count"`
+	Findings []anlz.Diagnostic `json:"findings"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gatevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as deterministic JSON")
+	listOut := fs.Bool("list", false, "print the analyzer registry and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run exclusively")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	quiet := fs.Bool("q", false, "suppress the summary line on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: gatevet [-json] [-only names] [-disable names] [dir]")
+		fmt.Fprintln(stderr, "       gatevet -list")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listOut {
+		for _, a := range passes.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n         contract: %s\n", a.Name, a.Doc, a.Contract)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fmt.Fprintf(stderr, "gatevet: %v\n", err)
+		return 2
+	}
+
+	dir := "."
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	loader, err := anlz.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "gatevet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(stderr, "gatevet: %v\n", err)
+		return 2
+	}
+	badTypes := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "gatevet: %s: %v\n", pkg.Path, terr)
+			badTypes = true
+		}
+	}
+	if badTypes {
+		return 2
+	}
+
+	diags, err := anlz.Run(loader, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "gatevet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		rep := report{Dir: dir, Module: loader.ModulePath(), Count: len(diags), Findings: diags}
+		if rep.Findings == nil {
+			rep.Findings = []anlz.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "gatevet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "gatevet: %d packages, %d findings\n", len(pkgs), len(diags))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -only / -disable to the registry, rejecting
+// unknown names so typos fail loudly.
+func selectAnalyzers(only, disable string) ([]*anlz.Analyzer, error) {
+	byName := make(map[string]*anlz.Analyzer)
+	for _, a := range passes.All() {
+		byName[a.Name] = a
+	}
+	parse := func(list string) (map[string]bool, error) {
+		out := make(map[string]bool)
+		if list == "" {
+			return out, nil
+		}
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see gatevet -list)", name)
+			}
+			out[name] = true
+		}
+		return out, nil
+	}
+	onlySet, err := parse(only)
+	if err != nil {
+		return nil, err
+	}
+	disableSet, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*anlz.Analyzer
+	for _, a := range passes.All() {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if disableSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

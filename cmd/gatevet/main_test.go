@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsGatevetClean is the whole-tree regression pin: the repository
+// itself must satisfy every contract analyzer. A failure here means a change
+// introduced a contract violation (or a new analyzer disagrees with the
+// tree) — fix the code or add a justified //anlz:ignore, never delete this
+// test.
+func TestModuleIsGatevetClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-q", "../.."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("gatevet exit %d on the module tree:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// writeViolatingModule lays out a one-package module whose root package (the
+// import path norand covers) draws from the global math/rand source.
+func writeViolatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module gatewords\n\ngo 1.22\n",
+		"bad.go": `package gatewords
+
+import "math/rand"
+
+func Draw() int {
+	return rand.Intn(10)
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSeededViolationExits1(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-q", dir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "norand") || !strings.Contains(stdout.String(), "rand.Intn") {
+		t.Errorf("finding not reported:\n%s", stdout.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-q", "-json", dir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Count != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("count/findings = %d/%d, want 1/1", rep.Count, len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "norand" || f.File == "" || f.Line == 0 {
+		t.Errorf("finding fields incomplete: %+v", f)
+	}
+	if rep.Module != "gatewords" {
+		t.Errorf("module = %q", rep.Module)
+	}
+}
+
+func TestDisableSilences(t *testing.T) {
+	dir := writeViolatingModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-q", "-disable", "norand", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d with norand disabled, want 0:\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-q", "-only", "mapdet", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d with -only mapdet, want 0:\n%s", code, stdout.String())
+	}
+}
+
+func TestNoModuleExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-q", t.TempDir()}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d for a module-less dir, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "go.mod") {
+		t.Errorf("error does not mention go.mod: %s", stderr.String())
+	}
+}
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "bogus", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Errorf("error does not name the bad analyzer: %s", stderr.String())
+	}
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"ctxpoll", "guardgo", "lockbal", "mapdet", "norand", "obskeys"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestTypeErrorExits2(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module gatewords\n\ngo 1.22\n",
+		"bad.go": "package gatewords\n\nfunc Broken() int { return undefinedIdent }\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-q", dir}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for an untypecheckable module, want 2; stderr: %s", code, stderr.String())
+	}
+}

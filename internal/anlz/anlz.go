@@ -1,0 +1,139 @@
+// Package anlz is the repo's static-analysis framework: a small,
+// self-contained analogue of golang.org/x/tools/go/analysis built entirely on
+// the standard library (go/parser, go/types, and the offline source
+// importer), so it runs in the same hermetic, network-free environment as the
+// build itself.
+//
+// The pipeline established hard cross-cutting contracts — byte-identical JSON
+// output across sequential and parallel runs, cooperative cancellation at
+// every stage-granularity loop, every pool goroutine inside a recover
+// boundary, a closed obs counter schema, injected randomness and clocks only
+// — that until now were enforced by a handful of runtime tests a future
+// change could silently rot. The analyzers under internal/anlz/passes encode
+// those contracts as compile-time checks; cmd/gatevet is the multichecker
+// that runs them over the module, and `make check` refuses a tree that is
+// not gatevet-clean.
+//
+// The moving parts:
+//
+//   - Loader (load.go) parses and type-checks packages from source with no
+//     module downloads: module-internal imports resolve against the module
+//     root on disk, test fixtures against registered GOPATH-style source
+//     roots, and the standard library through go/importer's source importer.
+//
+//   - Analyzer/Pass mirror their x/tools namesakes: an Analyzer declares a
+//     name, a doc string, an optional package allowlist, and a Run function
+//     that inspects one type-checked package and reports Diagnostics.
+//
+//   - Run (run.go) applies analyzers to loaded packages, honors package
+//     allowlists, filters diagnostics through `//anlz:ignore` suppression
+//     comments (suppress.go), and returns a deterministically sorted list.
+package anlz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. The zero value is not useful: Name and Run
+// are required.
+type Analyzer struct {
+	// Name is the analyzer's stable identifier: the tag in diagnostics, the
+	// handle in -only/-disable flags, and the name `//anlz:ignore` comments
+	// suppress by.
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Contract is the repo invariant the analyzer enforces, for the -list
+	// output and DESIGN.md table.
+	Contract string
+	// Packages restricts the analyzer to module packages whose import path
+	// equals one of these entries or lives below an entry ending in "/...".
+	// Empty means every package. The runner applies the restriction; test
+	// harnesses invoking Run directly bypass it.
+	Packages []string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Loader gives analyzers cross-package reach: function bodies of other
+	// module packages (FuncSource) for transitive call analysis.
+	Loader *Loader
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, newDiagnostic(p.Analyzer.Name, p.Fset.Position(pos), fmt.Sprintf(format, args...)))
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// File/Line/Col mirror Pos for JSON output (token.Position's own JSON
+	// form spells the filename field "Filename", which no other tool here
+	// uses).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// newDiagnostic builds a Diagnostic with the JSON mirror fields filled in.
+func newDiagnostic(analyzer string, pos token.Position, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      pos,
+		Message:  msg,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+	}
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by position, then analyzer, then message,
+// making multichecker output byte-deterministic.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

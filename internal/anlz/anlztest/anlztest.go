@@ -1,0 +1,151 @@
+// Package anlztest is the fixture-driven test harness for gatevet analyzers,
+// a compact analogue of golang.org/x/tools/go/analysis/analysistest. A test
+// points it at a testdata/src root and a fixture import path; the harness
+// type-checks the fixture, runs one analyzer over it raw (no allowlist, no
+// suppression), and matches every finding against `// want "regex"`
+// annotations on the flagged lines. Extra findings and unsatisfied wants both
+// fail the test.
+package anlztest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gatewords/internal/anlz"
+)
+
+// sharedLoader memoizes one loader per test binary so fixtures (and the
+// standard-library packages they pull in) are type-checked once, not once per
+// subtest. Loader methods are single-goroutine; analyzer tests must not run
+// in parallel.
+var sharedLoader *anlz.Loader
+
+// Loader returns the process-wide fixture loader, creating it on first use.
+func Loader(t *testing.T) *anlz.Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := anlz.NewLoader(".")
+		if err != nil {
+			t.Fatalf("anlztest: creating loader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run type-checks the fixture package at <srcRoot>/<path> and checks the
+// analyzer's findings against the fixture's want annotations.
+func Run(t *testing.T, srcRoot string, path string, a *anlz.Analyzer) {
+	t.Helper()
+	loader := Loader(t)
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatalf("anlztest: %v", err)
+	}
+	loader.AddSourceRoot(abs)
+	pkg, err := loader.LoadDir(filepath.Join(abs, filepath.FromSlash(path)), path)
+	if err != nil {
+		t.Fatalf("anlztest: loading %s: %v", path, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("anlztest: fixture %s does not type-check: %v", path, terr)
+	}
+	diags, err := anlz.RunOne(loader, pkg, a)
+	if err != nil {
+		t.Fatalf("anlztest: running %s on %s: %v", a.Name, path, err)
+	}
+	wants := collectWants(t, loader.Fset, pkg)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no matching finding", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit want on the diagnostic's line whose regexp
+// matches its message.
+func claim(wants []*want, d anlz.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment in the
+// package's files. The expectation applies to the line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *anlz.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(text) {
+					raw, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted Go string literals from a want
+// comment's payload, honoring backslash escapes.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		if s[i] != '"' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		out = append(out, s[i:j+1])
+		i = j
+	}
+	return out
+}

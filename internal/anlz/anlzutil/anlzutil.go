@@ -1,0 +1,222 @@
+// Package anlzutil holds the shared machinery of the gatevet analyzers:
+// static callee resolution, a depth-bounded transitive call walk over module
+// function bodies (the poor man's call graph the contracts need), and
+// recover-boundary detection for goroutine auditing.
+package anlzutil
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gatewords/internal/anlz"
+)
+
+// Callee resolves the statically-known target of a call: a plain function, a
+// method (through the selection), or a conversion's nil. Calls through
+// function values, interface methods bound dynamically, and built-ins return
+// nil — the analyzers treat those as unresolvable and decide conservatively
+// per contract.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: fmt.Fprintf, sort.Strings, ...
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsFunc reports whether fn is the named function or method of the package
+// with the given import path: IsFunc(fn, "context", "Err") matches
+// (context.Context).Err, IsFunc(fn, "fmt", "Fprintf") matches fmt.Fprintf.
+func IsFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// CallWalk is one depth-bounded transitive search over statically resolvable
+// calls, starting from a syntax subtree and descending into module function
+// bodies through the loader. Nested function literals are walked as part of
+// the body containing them (they run — or are scheduled — within it).
+type CallWalk struct {
+	Loader *anlz.Loader
+	// MaxDepth bounds descent into callee bodies (0 = only the start node).
+	MaxDepth int
+	// Match is consulted on every resolvable callee; returning true ends the
+	// walk successfully.
+	Match func(*types.Func) bool
+	// Dynamic, when non-nil, is consulted on calls whose callee cannot be
+	// resolved statically (function values, dynamic interface methods),
+	// with the depth the call was found at; returning true ends the walk
+	// successfully. Nil means dynamic calls never match.
+	Dynamic func(call *ast.CallExpr, depth int) bool
+}
+
+// Found reports whether the walk from root (typed by info) reaches a
+// matching call.
+func (w *CallWalk) Found(root ast.Node, info *types.Info) bool {
+	type frame struct {
+		node  ast.Node
+		info  *types.Info
+		depth int
+	}
+	queue := []frame{{root, info, 0}}
+	seen := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		fr := queue[0]
+		queue = queue[1:]
+		matched := false
+		ast.Inspect(fr.node, func(n ast.Node) bool {
+			if matched {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := Callee(fr.info, call)
+			if fn == nil {
+				// Builtins and type conversions are not calls in the walk's
+				// sense: neither work, nor a place cancellation could hide.
+				if tv, ok := fr.info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+					return true
+				}
+				if w.Dynamic != nil && w.Dynamic(call, fr.depth) {
+					matched = true
+				}
+				return true
+			}
+			if w.Match(fn) {
+				matched = true
+				return false
+			}
+			if fr.depth < w.MaxDepth && !seen[fn] {
+				seen[fn] = true
+				if src, ok := w.Loader.FuncSource(fn); ok {
+					queue = append(queue, frame{src.Decl.Body, src.Pkg.Info, fr.depth + 1})
+				}
+			}
+			return true
+		})
+		if matched {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecoverDirectly reports whether the function body calls the recover
+// built-in in its own statements (not inside a nested function literal —
+// recover only works when called directly by a deferred function).
+func callsRecoverDirectly(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "recover" {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// EstablishesRecover reports whether the deferred call d is a recover
+// boundary: either a function literal calling recover directly, or a
+// statically resolvable function whose body does (e.g. guard.Rescue).
+func EstablishesRecover(loader *anlz.Loader, info *types.Info, d *ast.DeferStmt) bool {
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		return callsRecoverDirectly(lit.Body, info)
+	}
+	if fn := Callee(info, d.Call); fn != nil {
+		if src, ok := loader.FuncSource(fn); ok {
+			return callsRecoverDirectly(src.Decl.Body, src.Pkg.Info)
+		}
+	}
+	return false
+}
+
+// GuardedGoroutine reports whether the function started by a go statement
+// establishes a recover boundary in its leading deferred statements: the
+// statement list may open with any run of defers (defer wg.Done() first is
+// the pool idiom), and one of them must establish recover. A go statement
+// calling a named function is resolved and judged by the same rule.
+func GuardedGoroutine(loader *anlz.Loader, info *types.Info, g *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	bodyInfo := info
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := Callee(info, g.Call)
+		if fn == nil {
+			return false
+		}
+		src, ok := loader.FuncSource(fn)
+		if !ok {
+			return false
+		}
+		body = src.Decl.Body
+		bodyInfo = src.Pkg.Info
+	}
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			break // the leading defer run is over
+		}
+		if EstablishesRecover(loader, bodyInfo, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// MentionsObject reports whether the expression subtree references the given
+// object (used to tie a sort call to the slice it sorts).
+func MentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// IsSortCall reports whether the call is a recognized slice-ordering call:
+// anything in package sort or slices, or a module function whose name
+// contains "sort"/"Sort" (the repo's own canonicalizers, e.g. sortedNets).
+func IsSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	name := fn.Name()
+	for i := 0; i+4 <= len(name); i++ {
+		if s := name[i : i+4]; s == "sort" || s == "Sort" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package passes
+
+import (
+	"go/ast"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/anlzutil"
+)
+
+// GuardGo enforces the fault-isolation contract: every goroutine spawned in
+// the identification pipeline and the service layer must establish a recover
+// boundary in its leading defers, so a panic in one group's worker degrades
+// that group instead of killing the process. The boundary is either a
+// deferred function literal calling recover directly or a deferred call to a
+// helper (guard.Rescue) whose body does.
+var GuardGo = &anlz.Analyzer{
+	Name:     "guardgo",
+	Doc:      "flag goroutines without a leading recover boundary",
+	Contract: "every goroutine in internal/core and internal/service runs inside a recover boundary; a worker panic becomes a recorded GroupFailure, never a process crash",
+	Packages: []string{
+		"gatewords/internal/core",
+		"gatewords/internal/service",
+	},
+	Run: runGuardGo,
+}
+
+func runGuardGo(pass *anlz.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !anlzutil.GuardedGoroutine(pass.Loader, pass.Info, g) {
+				pass.Reportf(g.Pos(), "goroutine has no recover boundary in its leading defers; add defer guard.Rescue(...) so a panic degrades the group instead of crashing the process")
+			}
+			return true
+		})
+	}
+	return nil
+}

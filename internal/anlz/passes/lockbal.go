@@ -1,0 +1,320 @@
+package passes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/anlzutil"
+)
+
+// LockBal enforces the facade-lock contract from the concurrency redesign:
+// the Observer mutex (and the service Server mutex) are leaf locks — nothing
+// blocking may happen while one is held. The analyzer tracks sync.Mutex /
+// RWMutex lock state linearly through each function body and flags channel
+// sends and receives, selects without a default, and calls into known
+// blockers (Identify re-entry, WaitGroup.Wait, time.Sleep) inside a held
+// region. Branches that end in a terminating statement do not merge their
+// lock state back, so the explicit lock/unlock-and-return idiom stays legal.
+var LockBal = &anlz.Analyzer{
+	Name:     "lockbal",
+	Doc:      "flag blocking operations while holding a mutex",
+	Contract: "facade and service mutexes are leaf locks: no channel ops, selects without default, Identify re-entry, or sleeps while held",
+	Packages: []string{
+		"gatewords",
+		"gatewords/internal/service",
+	},
+	Run: runLockBal,
+}
+
+// lockState is the set of held mutexes, keyed by the rendered receiver
+// expression ("o.mu", "s.mu").
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s lockState) names() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// intersect keeps only mutexes held on every merged path.
+func intersect(states []lockState) lockState {
+	if len(states) == 0 {
+		return lockState{}
+	}
+	out := states[0].clone()
+	for _, st := range states[1:] {
+		for k := range out {
+			if !st[k] {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+func runLockBal(pass *anlz.Pass) error {
+	lb := &lockbal{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lb.scanBlock(n.Body.List, lockState{})
+				}
+			case *ast.FuncLit:
+				// A literal's body runs with its own lock state (goroutine,
+				// callback, deferred cleanup) — scan it fresh.
+				lb.scanBlock(n.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockbal struct {
+	pass *anlz.Pass
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex state change and returns
+// the receiver key.
+func (lb *lockbal) mutexOp(call *ast.CallExpr) (key string, lock bool, ok bool) {
+	fn := anlzutil.Callee(lb.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// scanBlock walks statements in order, maintaining the held set. It returns
+// the outgoing state and whether the block ends in a terminating statement.
+func (lb *lockbal) scanBlock(stmts []ast.Stmt, held lockState) (lockState, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = lb.scanStmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (lb *lockbal) scanStmt(stmt ast.Stmt, held lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, lock, ok := lb.mutexOp(call); ok {
+				if lock {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return held, false
+			}
+			if isPanicCall(lb.pass.Info, call) {
+				lb.checkExpr(s.X, held)
+				return held, true
+			}
+		}
+		lb.checkExpr(s.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to function exit — correct,
+		// and every later blocking op in this body is still a violation. The
+		// deferred call itself runs after the scanned region; don't check it.
+		return held, false
+	case *ast.GoStmt:
+		// Spawning is non-blocking; the goroutine body runs without this
+		// lock state and is scanned separately as a FuncLit.
+		return held, false
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lb.pass.Reportf(s.Pos(), "channel send while holding %s; the lock is a leaf — move blocking work outside the critical section", held.names())
+		}
+		lb.checkExpr(s.Value, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lb.checkExpr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		lb.checkExpr(s.Decl, held)
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lb.checkExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return lb.scanBlock(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = lb.scanStmt(s.Init, held)
+		}
+		lb.checkExpr(s.Cond, held)
+		var outs []lockState
+		if out, term := lb.scanBlock(s.Body.List, held.clone()); !term {
+			outs = append(outs, out)
+		}
+		if s.Else != nil {
+			if out, term := lb.scanStmt(s.Else, held.clone()); !term {
+				outs = append(outs, out)
+			}
+		} else {
+			outs = append(outs, held.clone())
+		}
+		if len(outs) == 0 {
+			return held, true
+		}
+		return intersect(outs), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = lb.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lb.checkExpr(s.Cond, held)
+		}
+		lb.scanBlock(s.Body.List, held.clone())
+		return held, false
+	case *ast.RangeStmt:
+		lb.checkExpr(s.X, held)
+		lb.scanBlock(s.Body.List, held.clone())
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = lb.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lb.checkExpr(s.Tag, held)
+		}
+		return lb.scanCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = lb.scanStmt(s.Init, held)
+		}
+		return lb.scanCases(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lb.pass.Reportf(s.Pos(), "select without default while holding %s; the lock is a leaf — use a non-blocking select or release first", held.names())
+		}
+		for _, clause := range s.Body.List {
+			if comm, ok := clause.(*ast.CommClause); ok {
+				lb.scanBlock(comm.Body, held.clone())
+			}
+		}
+		return held, false
+	case *ast.LabeledStmt:
+		return lb.scanStmt(s.Stmt, held)
+	default:
+		return held, false
+	}
+}
+
+// scanCases merges switch case bodies like if branches: case bodies that
+// terminate don't contribute, and a switch without a default keeps the
+// incoming state as the fall-through path.
+func (lb *lockbal) scanCases(body *ast.BlockStmt, held lockState) (lockState, bool) {
+	var outs []lockState
+	hasDefault := false
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			lb.checkExpr(e, held)
+		}
+		if out, term := lb.scanBlock(cc.Body, held.clone()); !term {
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held.clone())
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	return intersect(outs), false
+}
+
+// checkExpr flags blocking operations in an expression evaluated while held:
+// channel receives and calls to known blockers. Function literals are skipped
+// — they run with their own state.
+func (lb *lockbal) checkExpr(n ast.Node, held lockState) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lb.pass.Reportf(n.Pos(), "channel receive while holding %s; the lock is a leaf — move blocking work outside the critical section", held.names())
+			}
+		case *ast.CallExpr:
+			fn := anlzutil.Callee(lb.pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case anlzutil.IsFunc(fn, "time", "Sleep"):
+				lb.pass.Reportf(n.Pos(), "time.Sleep while holding %s", held.names())
+			case fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+				lb.pass.Reportf(n.Pos(), "WaitGroup.Wait while holding %s can deadlock against workers that need the lock", held.names())
+			case fn.Name() == "Identify":
+				lb.pass.Reportf(n.Pos(), "Identify re-entry while holding %s; identification takes the Observer lock and would deadlock", held.names())
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

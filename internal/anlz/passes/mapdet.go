@@ -1,0 +1,150 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/anlzutil"
+)
+
+// MapDet enforces the byte-identical-output contract at its most common
+// failure point: Go map iteration order is deliberately randomized, so a
+// `for range` over a map that feeds output directly — or collects into a
+// slice that is never sorted — produces different bytes on different runs.
+var MapDet = &anlz.Analyzer{
+	Name:     "mapdet",
+	Doc:      "flag map iteration that reaches output without an intervening sort",
+	Contract: "identification output is byte-identical across runs; map iteration order must never leak into rendered or collected results",
+	Run:      runMapDet,
+}
+
+func runMapDet(pass *anlz.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+					continue
+				}
+				checkMapRange(pass, rng, block.List[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one range-over-map. Direct writes to output streams
+// inside the body are always findings; appends to slices declared outside the
+// loop are findings unless a later statement in the enclosing block sorts the
+// slice.
+func checkMapRange(pass *anlz.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isOutputCall(pass.Info, n) {
+				pass.Reportf(rng.For, "map iteration writes to output; iteration order is nondeterministic — collect and sort keys first")
+				return false
+			}
+			if obj := appendTarget(pass.Info, n, rng); obj != nil && !sortedLater(pass.Info, rest, obj) {
+				pass.Reportf(rng.For, "map iteration appends to %s, which is never sorted before use — sort it after the loop", obj.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isOutputCall recognizes calls that emit bytes: the fmt print family and
+// Write/WriteString/WriteByte/WriteRune methods (io.Writer, strings.Builder,
+// bytes.Buffer, bufio.Writer, ...).
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := anlzutil.Callee(info, call)
+	if fn == nil {
+		// An unresolvable method call named Write* is still treated as
+		// output — dynamic io.Writer values are the common case.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return isWriteName(sel.Sel.Name)
+		}
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	return isWriteName(fn.Name())
+}
+
+func isWriteName(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)` when x is a
+// slice variable declared outside the range statement, else nil.
+func appendTarget(info *types.Info, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[target]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // loop-local accumulator, not an outer collection
+	}
+	return obj
+}
+
+// sortedLater reports whether a later sibling statement sorts the collected
+// slice (any sort/slices call, or a module canonicalizer with Sort in its
+// name, mentioning the object).
+func sortedLater(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if anlzutil.IsSortCall(info, call) && anlzutil.MentionsObject(info, call, obj) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/anlzutil"
+)
+
+// NoRand enforces the injected-entropy contract in result-producing packages:
+// identification results must be reproducible from Options.Seed alone, so the
+// global math/rand source (seeded from runtime state) and wall-clock reads
+// are both banned. Seeded local sources — rand.New(rand.NewSource(seed)) —
+// are the sanctioned idiom and stay legal; time.Now stays legal in the
+// measurement layers (obs clocks, bench harness timing).
+var NoRand = &anlz.Analyzer{
+	Name:     "norand",
+	Doc:      "forbid global math/rand and time.Now in result-producing packages",
+	Contract: "results are a pure function of inputs and Options.Seed: randomness comes from seeded injected sources, time from the injected clock",
+	Packages: []string{
+		"gatewords",
+		"gatewords/internal/core",
+		"gatewords/internal/reduce",
+		"gatewords/internal/eqcheck",
+		"gatewords/internal/netlist",
+		"gatewords/internal/netlint",
+		"gatewords/internal/sim",
+		"gatewords/internal/bench",
+	},
+	Run: runNoRand,
+}
+
+func runNoRand(pass *anlz.Pass) error {
+	// The bench harness measures wall time by design; it is still covered by
+	// the global-rand rule.
+	allowWallClock := pass.Pkg != nil && lastSegment(pass.Pkg.Path()) == "bench"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := anlzutil.Callee(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+				// Methods on a *rand.Rand built from a seeded source are the
+				// sanctioned idiom; package-level functions draw from the
+				// global source. New/NewSource construct, they don't draw.
+				sig, _ := fn.Type().(*types.Signature)
+				if sig != nil && sig.Recv() == nil && fn.Name() != "New" && fn.Name() != "NewSource" {
+					pass.Reportf(call.Pos(), "global math/rand.%s is seeded from runtime state; use rand.New(rand.NewSource(seed)) with an injected seed", fn.Name())
+				}
+				return true
+			}
+			if !allowWallClock && anlzutil.IsFunc(fn, "time", "Now") {
+				pass.Reportf(call.Pos(), "time.Now in result-producing code breaks reproducibility; use the injected clock")
+			}
+			return true
+		})
+	}
+	return nil
+}

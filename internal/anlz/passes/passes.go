@@ -1,0 +1,33 @@
+// Package passes holds the gatevet analyzers: six compile-time checks that
+// encode the pipeline's cross-cutting contracts (deterministic output,
+// cooperative cancellation, fault isolation, a closed observability schema,
+// injected randomness and clocks, and a non-reentrant facade lock). Each
+// analyzer documents the contract it enforces in its Contract field; the
+// DESIGN.md §11 table is generated from the same wording.
+package passes
+
+import "gatewords/internal/anlz"
+
+// All returns every gatevet analyzer, sorted by name.
+func All() []*anlz.Analyzer {
+	return []*anlz.Analyzer{
+		CtxPoll,
+		GuardGo,
+		LockBal,
+		MapDet,
+		NoRand,
+		ObsKeys,
+	}
+}
+
+// lastSegment returns the final element of a slash-separated import path.
+// Contract markers match on it so analyzer fixtures can model the marker
+// packages (obs, guard, eqcheck, ...) with local single-segment stand-ins.
+func lastSegment(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,90 @@
+package passes_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gatewords/internal/anlz"
+	"gatewords/internal/anlz/anlztest"
+	"gatewords/internal/anlz/passes"
+)
+
+const srcRoot = "testdata/src"
+
+func TestMapDet(t *testing.T)  { anlztest.Run(t, srcRoot, "mapdet_a", passes.MapDet) }
+func TestCtxPoll(t *testing.T) { anlztest.Run(t, srcRoot, "ctxpoll_a", passes.CtxPoll) }
+func TestGuardGo(t *testing.T) { anlztest.Run(t, srcRoot, "guardgo_a", passes.GuardGo) }
+func TestObsKeys(t *testing.T) { anlztest.Run(t, srcRoot, "obskeys_a", passes.ObsKeys) }
+func TestNoRand(t *testing.T)  { anlztest.Run(t, srcRoot, "norand_a", passes.NoRand) }
+func TestLockBal(t *testing.T) { anlztest.Run(t, srcRoot, "lockbal_a", passes.LockBal) }
+
+// TestAll pins the registry: six analyzers, sorted, fully documented.
+func TestAll(t *testing.T) {
+	all := passes.All()
+	want := []string{"ctxpoll", "guardgo", "lockbal", "mapdet", "norand", "obskeys"}
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Contract == "" || a.Run == nil {
+			t.Errorf("%s: missing Doc, Contract, or Run", a.Name)
+		}
+	}
+}
+
+// TestSuppression runs norand through the full Run path (which honors
+// //anlz:ignore) over a fixture mixing suppressed, surviving, and malformed
+// directives.
+func TestSuppression(t *testing.T) {
+	loader := anlztest.Loader(t)
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.AddSourceRoot(abs)
+	pkg, err := loader.LoadDir(filepath.Join(abs, "ignore_a"), "ignore_a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	// Copy the analyzer with its package allowlist cleared so Run applies it
+	// to the fixture path.
+	norand := *passes.NoRand
+	norand.Packages = nil
+	diags, err := anlz.Run(loader, []*anlz.Package{pkg}, []*anlz.Analyzer{&norand})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+"/"+funcOf(d.Message))
+	}
+	// Survivors: the wrong-analyzer line, the unsuppressed line, and the
+	// malformed directive (as pseudo-analyzer anlz) plus the finding it
+	// failed to suppress.
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	if counts["anlz"] != 1 {
+		t.Errorf("want exactly 1 malformed-directive diagnostic, got %d (%v)", counts["anlz"], got)
+	}
+	if counts["norand"] != 3 {
+		t.Errorf("want 3 surviving norand findings (wrongAnalyzer, unsuppressed, malformed), got %d (%v)", counts["norand"], got)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppression") && d.Analyzer == "norand" && !strings.Contains(d.Message, "math/rand") {
+			t.Errorf("unexpected surviving finding: %s", d)
+		}
+	}
+}
+
+func funcOf(msg string) string {
+	if i := strings.IndexByte(msg, ' '); i > 0 {
+		return msg[:i]
+	}
+	return msg
+}

@@ -1,0 +1,79 @@
+package ctxpoll_a
+
+import (
+	"context"
+
+	"eqcheck"
+)
+
+type pipeline struct {
+	ctx context.Context
+}
+
+func (p *pipeline) cancelled() bool {
+	return p.ctx != nil && p.ctx.Err() != nil
+}
+
+func unpolled(roots []int) []eqcheck.Result {
+	out := make([]eqcheck.Result, 0, len(roots))
+	for _, r := range roots { // want "never polls for cancellation"
+		out = append(out, eqcheck.CheckLits(r, r))
+	}
+	return out
+}
+
+func polledDirect(ctx context.Context, roots []int) []eqcheck.Result {
+	out := make([]eqcheck.Result, 0, len(roots))
+	for _, r := range roots {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, eqcheck.CheckLits(r, r))
+	}
+	return out
+}
+
+func polledHelper(p *pipeline, roots []int) []eqcheck.Result {
+	out := make([]eqcheck.Result, 0, len(roots))
+	for _, r := range roots {
+		if p.cancelled() {
+			break
+		}
+		out = append(out, eqcheck.CheckLits(r, r))
+	}
+	return out
+}
+
+// polledDeep buries the poll one call down; the cancel walk descends.
+func solveOne(ctx context.Context, r int) eqcheck.Result {
+	if ctx.Err() != nil {
+		return eqcheck.Result{}
+	}
+	return eqcheck.CheckLits(r, r)
+}
+
+func polledDeepLoop(ctx context.Context, roots []int) []eqcheck.Result {
+	out := make([]eqcheck.Result, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, solveOne(ctx, r))
+	}
+	return out
+}
+
+// noWork loops without stage-level work: not the analyzer's business.
+func noWork(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// unpolledFor covers the plain for-statement form.
+func unpolledFor(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "never polls for cancellation"
+		total += eqcheck.Solve(i)
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package eqcheck is a fixture stand-in for gatewords/internal/eqcheck: the
+// ctxpoll analyzer matches work markers by the final import-path segment.
+package eqcheck
+
+// Result mirrors the shape of a SAT verdict enough for fixtures.
+type Result struct {
+	Equivalent bool
+}
+
+// CheckLits is a work marker: one SAT equivalence query.
+func CheckLits(a, b int) Result {
+	return Result{Equivalent: a == b}
+}
+
+// Solve is a work marker too.
+func Solve(n int) int {
+	return n
+}

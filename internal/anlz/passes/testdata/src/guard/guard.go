@@ -1,0 +1,21 @@
+// Package guard is a fixture stand-in for gatewords/internal/guard: the
+// guardgo analyzer resolves deferred helpers and accepts any whose body calls
+// recover directly.
+package guard
+
+// Rescue converts a panic in the surrounding goroutine into a callback. It
+// must be deferred directly: defer guard.Rescue("stage", onPanic).
+func Rescue(stage string, onPanic func(any)) {
+	if r := recover(); r != nil {
+		if onPanic != nil {
+			onPanic(r)
+		}
+	}
+}
+
+// Leak looks like a rescue helper but never calls recover.
+func Leak(stage string, onPanic func(any)) {
+	if onPanic != nil {
+		onPanic(stage)
+	}
+}

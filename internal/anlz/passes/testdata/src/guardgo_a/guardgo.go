@@ -1,0 +1,83 @@
+package guardgo_a
+
+import (
+	"sync"
+
+	"guard"
+)
+
+func bare(work chan int, out []int) {
+	go func() { // want "no recover boundary"
+		for gi := range work {
+			out[gi] = gi
+		}
+	}()
+}
+
+func doneOnly(wg *sync.WaitGroup, work chan int) {
+	go func() { // want "no recover boundary"
+		defer wg.Done()
+		for range work {
+		}
+	}()
+}
+
+func rescued(wg *sync.WaitGroup, work chan int) {
+	go func() {
+		defer wg.Done()
+		defer guard.Rescue("pool", nil)
+		for range work {
+		}
+	}()
+}
+
+func inlineRecover(work chan int) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		for range work {
+		}
+	}()
+}
+
+// leakHelper defers a helper that looks protective but never recovers.
+func leakHelper(work chan int) {
+	go func() { // want "no recover boundary"
+		defer guard.Leak("pool", nil)
+		for range work {
+		}
+	}()
+}
+
+// lateRescue recovers, but only after non-defer statements — a panic in the
+// opening statements escapes, so the leading-defer rule flags it.
+func lateRescue(work chan int, n *int) {
+	go func() { // want "no recover boundary"
+		*n++
+		defer guard.Rescue("pool", nil)
+		for range work {
+		}
+	}()
+}
+
+func namedWorker(work chan int) {
+	for range work {
+	}
+}
+
+func namedUnguarded(work chan int) {
+	go namedWorker(work) // want "no recover boundary"
+}
+
+func guardedWorker(work chan int) {
+	defer guard.Rescue("pool", nil)
+	for range work {
+	}
+}
+
+func namedGuarded(work chan int) {
+	go guardedWorker(work)
+}

@@ -1,0 +1,37 @@
+package ignore_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sameLine suppresses on the flagged line itself.
+func sameLine() int {
+	return rand.Intn(10) //anlz:ignore norand fixture exercises same-line suppression
+}
+
+// lineAbove suppresses from the line immediately above.
+func lineAbove() int64 {
+	//anlz:ignore norand fixture exercises line-above suppression
+	return time.Now().UnixNano()
+}
+
+// wildcard suppresses any analyzer.
+func wildcard() int {
+	return rand.Intn(3) //anlz:ignore * fixture exercises wildcard suppression
+}
+
+// wrongAnalyzer names a different analyzer, so the finding survives.
+func wrongAnalyzer() int {
+	return rand.Intn(5) //anlz:ignore mapdet suppression names the wrong analyzer
+}
+
+// unsuppressed survives untouched.
+func unsuppressed() int {
+	return rand.Intn(7)
+}
+
+// malformed lacks a reason, which is itself a finding.
+func malformed() int {
+	return rand.Intn(9) //anlz:ignore norand
+}

@@ -1,0 +1,113 @@
+package lockbal_a
+
+import (
+	"sync"
+	"time"
+)
+
+type facade struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	jobs chan int
+	n    int
+}
+
+// Identify stands in for the facade entry point the denylist names.
+func (f *facade) Identify() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+func (f *facade) sendHeld() {
+	f.mu.Lock()
+	f.jobs <- 1 // want "channel send while holding f.mu"
+	f.mu.Unlock()
+}
+
+func (f *facade) recvHeld() int {
+	f.mu.Lock()
+	v := <-f.jobs // want "channel receive while holding f.mu"
+	f.mu.Unlock()
+	return v
+}
+
+func (f *facade) recvUnderDefer() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return <-f.jobs // want "channel receive while holding f.mu"
+}
+
+func (f *facade) sendAfterUnlock() {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+	f.jobs <- 1
+}
+
+func (f *facade) earlyReturnThenSend() {
+	f.mu.Lock()
+	if f.n == 0 {
+		f.mu.Unlock()
+		return
+	}
+	f.n--
+	f.mu.Unlock()
+	f.jobs <- 1
+}
+
+func (f *facade) selectBlocking() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select { // want "select without default while holding f.mu"
+	case f.jobs <- 1:
+	case <-time.After(time.Second):
+	}
+}
+
+func (f *facade) selectNonBlocking() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case f.jobs <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *facade) sleepHeld() {
+	f.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding f.mu"
+	f.mu.Unlock()
+}
+
+func (f *facade) waitHeld() {
+	f.mu.Lock()
+	f.wg.Wait() // want "WaitGroup.Wait while holding f.mu"
+	f.mu.Unlock()
+}
+
+func (f *facade) reentry() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Identify() // want "Identify re-entry while holding f.mu"
+}
+
+func (f *facade) goroutineIsFresh() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	go func() {
+		f.jobs <- 1
+	}()
+}
+
+func (f *facade) branchBothUnlock(flag bool) {
+	f.mu.Lock()
+	if flag {
+		f.mu.Unlock()
+	} else {
+		f.mu.Unlock()
+	}
+	f.jobs <- 2
+}

@@ -1,0 +1,57 @@
+package mapdet_a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func direct(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration writes to output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func builder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration writes to output"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys, which is never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+func overSlice(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,33 @@
+package norand_a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in result-producing code"
+}
+
+func injectedClock(now func() time.Time) int64 {
+	return now().UnixNano()
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return d * 2
+}

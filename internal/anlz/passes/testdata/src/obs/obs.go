@@ -1,0 +1,28 @@
+// Package obs is a fixture stand-in for gatewords/internal/obs: the obskeys
+// analyzer matches the Stage/Counter/Gauge enums by the final import-path
+// segment.
+package obs
+
+type Stage uint8
+
+type Counter uint8
+
+type Gauge uint8
+
+const (
+	StageParse Stage = iota
+	StageSim
+	NumStages
+)
+
+const (
+	CGroups Counter = iota
+	CTrials
+	NumCounters
+)
+
+// Add is a schema sink: callers must pass named constants.
+func Add(c Counter, n int64) {}
+
+// Enter is a schema sink for stages.
+func Enter(s Stage) {}

@@ -1,0 +1,42 @@
+package obskeys_a
+
+import (
+	"obs"
+)
+
+func named() {
+	obs.Add(obs.CGroups, 1)
+	obs.Enter(obs.StageSim)
+}
+
+func rawArgument() {
+	obs.Add(3, 1) // want "raw literal 3 used as obs.Counter"
+}
+
+func rawConversion() int64 {
+	c := obs.Counter(7) // want "raw literal 7 converted to obs.Counter"
+	return int64(c)
+}
+
+func rawAssignment() {
+	var s obs.Stage = 2 // want "raw literal 2 used as obs.Stage"
+	obs.Enter(s)
+}
+
+func rawComposite() []obs.Counter {
+	return []obs.Counter{obs.CGroups, 4} // want "raw literal 4 used as obs.Counter"
+}
+
+// derived arithmetic on existing enum values is legal: bounds loops do this.
+func derived() {
+	for c := obs.Counter(0); c < obs.NumCounters; c++ {
+		obs.Add(c, 0)
+	}
+}
+
+// plainInts never touch the enums.
+func plainInts() int64 {
+	var n int64 = 42
+	obs.Add(obs.CTrials, n)
+	return n + 7
+}

@@ -1,0 +1,91 @@
+package anlz
+
+// run.go applies analyzers to loaded packages: package allowlists, the
+// per-package analysis passes, //anlz:ignore filtering, and deterministic
+// ordering of the surviving findings.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PackageMatch reports whether a package import path is covered by the
+// allowlist patterns: an exact path, or everything below a pattern ending in
+// "/...". An empty allowlist matches every package.
+func PackageMatch(patterns []string, path string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == sub || strings.HasPrefix(path, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if path == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// findings, sorted by position. Analyzer package allowlists are honored;
+// suppressed findings are dropped; malformed suppression directives are
+// reported. A non-nil error means an analyzer itself failed (not that it
+// found something).
+func Run(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(loader.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if !PackageMatch(a.Packages, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Loader:   loader,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("anlz: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range pkgDiags {
+			if !suppressed(d, ignores) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunOne applies one analyzer to one package with no allowlist or
+// suppression filtering — the analysistest entry point, where every raw
+// finding must line up with a want annotation. (Suppression is still
+// testable: tested through Run.)
+func RunOne(loader *Loader, pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     loader.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Loader:   loader,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,78 @@
+package anlz
+
+// suppress.go implements finding suppression. A diagnostic is suppressed by
+//
+//	//anlz:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. <analyzer>
+// is one analyzer name or "*"; the reason is mandatory — an ignore without
+// one is itself reported (by the pseudo-analyzer "anlz"), so every
+// suppression in the tree carries its justification.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//anlz:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string // analyzer name or "*"
+	reason   string
+}
+
+// collectIgnores parses every //anlz:ignore directive in the files.
+// Malformed directives (no analyzer, or no reason) are returned as
+// diagnostics instead.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //anlz:ignoreX
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, newDiagnostic("anlz", pos,
+						"malformed //anlz:ignore: want \"//anlz:ignore <analyzer> <reason>\""))
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether d is covered by a directive on its line or the
+// line above.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.analyzer != "*" && dir.analyzer != d.Analyzer {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -382,11 +382,25 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 	outs := make([]groupOutcome, len(groups))
 	var failed atomic.Bool
 	var wg sync.WaitGroup
-	work := make(chan int)
+	// Pool-level failures: panics that escape runGroup's per-group boundary
+	// (pool bookkeeping itself panicking). The backstop keeps the process
+	// alive and surfaces the failure in the merged result instead.
+	var poolMu sync.Mutex
+	var poolFailures []guard.GroupFailure
+	// Buffered so the feed loop below can never block on a worker that died
+	// in the backstop: every index is deposited up front regardless of how
+	// many workers survive to drain it.
+	work := make(chan int, len(groups))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guard.Rescue("pool", func(f *guard.GroupFailure) {
+				failed.Store(true)
+				poolMu.Lock()
+				poolFailures = append(poolFailures, *f)
+				poolMu.Unlock()
+			})
 			for gi := range work {
 				if opt.FailFast && failed.Load() {
 					continue
@@ -403,7 +417,9 @@ func identifyParallel(nl *netlist.Netlist, opt Options, groups [][]netlist.NetID
 	}
 	close(work)
 	wg.Wait()
-	return mergeOutcomes(len(groups), outs, opt.Observer)
+	merged := mergeOutcomes(len(groups), outs, opt.Observer)
+	merged.Failures = append(merged.Failures, poolFailures...)
+	return merged
 }
 
 type pipeline struct {

@@ -69,6 +69,10 @@ func Find(nl *netlist.Netlist, b *cone.Builder, dissim [][]cone.Subtree, subDept
 	if len(common) == 0 {
 		return nil
 	}
+	// common is collected in map order; canonicalize before the dominance
+	// walk so everything downstream of it is order-independent by
+	// construction, not just after the final sort of out.
+	sort.Slice(common, func(i, j int) bool { return common[i] < common[j] })
 
 	// Prune dominated nets: drop any common net reachable through drivers
 	// from another common net within the dissimilar region (§2.4: U223 is

@@ -17,6 +17,7 @@
 package eqcheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -89,7 +90,26 @@ type Options struct {
 	// rounds and the SAT budget actually consumed (decisions, propagations,
 	// conflicts) — into the recorder (see internal/obs). Nil costs nothing.
 	Observer *obs.Recorder
+	// Context, when non-nil, is polled between queries by the multi-query
+	// drivers (CheckNetlists, reduce.VerifyCones): once it is cancelled, the
+	// remaining queries resolve to Unknown with Stage "cancelled" instead of
+	// running, so a deadline yields a strict prefix of decided results. A
+	// single in-flight query is not interrupted.
+	Context context.Context
 }
+
+// cancelled reports whether the options' context has been cancelled.
+func (o Options) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// Cancelled is the exported form of the poll, for drivers outside the
+// package (reduce.VerifyCones) that loop over per-unit queries.
+func (o Options) Cancelled() bool { return o.cancelled() }
+
+// CancelledResult is the verdict recorded for a query skipped after
+// cancellation.
+func CancelledResult() Result { return Result{Verdict: Unknown, Stage: "cancelled"} }
 
 func (o Options) simRounds() int {
 	switch {
@@ -419,6 +439,13 @@ func CheckNetlists(na, nb *netlist.Netlist, pin map[string]logic.Value, opt Opti
 		lb, ok := fb.Outputs[name]
 		if !ok {
 			res.OnlyInA = append(res.OnlyInA, name)
+			continue
+		}
+		// Deadline-bounded runs keep the output list complete and in order:
+		// outputs past the cancellation point are Unknown/"cancelled", so a
+		// partial result is a strict prefix of the full one.
+		if opt.cancelled() {
+			res.Outputs = append(res.Outputs, OutputCheck{Name: name, Result: CancelledResult()})
 			continue
 		}
 		r := CheckLits(g, fa.Outputs[name], lb, opt)

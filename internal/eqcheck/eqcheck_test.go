@@ -1,6 +1,7 @@
 package eqcheck_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -482,5 +483,45 @@ func TestRetryLadderEscalatesUnknown(t *testing.T) {
 	r = eqcheck.CheckLits(g, left, right, opt)
 	if r.Verdict != eqcheck.Unknown || r.Stats.Retries != 0 {
 		t.Fatalf("capped ladder: verdict=%v retries=%d, want unknown/0", r.Verdict, r.Stats.Retries)
+	}
+}
+
+// TestCheckNetlistsCancelled pins the deadline contract at the multi-output
+// driver: a cancelled context resolves every remaining output to
+// Unknown/"cancelled" while keeping the output list complete and ordered.
+func TestCheckNetlistsCancelled(t *testing.T) {
+	na := buildAdder2(t, "adder_xor", false)
+	nb := buildAdder2(t, "adder_mux", true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eqcheck.CheckNetlists(na, nb, nil, eqcheck.Options{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("got %d outputs, want the full list", len(res.Outputs))
+	}
+	for _, out := range res.Outputs {
+		if out.Verdict != eqcheck.Unknown || out.Stage != "cancelled" {
+			t.Errorf("output %s: verdict %v stage %q, want Unknown/cancelled", out.Name, out.Verdict, out.Stage)
+		}
+	}
+}
+
+// TestOptionsCancelled covers the poll helper itself.
+func TestOptionsCancelled(t *testing.T) {
+	if (eqcheck.Options{}).Cancelled() {
+		t.Error("zero Options reports cancelled")
+	}
+	if (eqcheck.Options{Context: context.Background()}).Cancelled() {
+		t.Error("live context reports cancelled")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !(eqcheck.Options{Context: ctx}).Cancelled() {
+		t.Error("cancelled context not reported")
+	}
+	if r := eqcheck.CancelledResult(); r.Verdict != eqcheck.Unknown || r.Stage != "cancelled" {
+		t.Errorf("CancelledResult = %+v", r)
 	}
 }

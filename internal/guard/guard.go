@@ -67,6 +67,22 @@ func NewGroupFailure(group int, stage string, v any) *GroupFailure {
 	}
 }
 
+// Rescue is the standing recover boundary for pool goroutines. It must be
+// deferred directly — defer guard.Rescue("pool", onPanic) — so its recover
+// call executes in the deferred frame. A recovered panic becomes a
+// GroupFailure attributed to AnyGroup (a panic that escaped the per-group
+// boundary has no reliable group index) and is handed to onPanic; a nil
+// onPanic merely contains the crash. With no panic in flight it is a no-op,
+// so it is safe as an unconditional first defer.
+func Rescue(stage string, onPanic func(*GroupFailure)) {
+	if r := recover(); r != nil {
+		f := NewGroupFailure(AnyGroup, stage, r)
+		if onPanic != nil {
+			onPanic(f)
+		}
+	}
+}
+
 // Budgets bounds per-group pipeline work. Each limit guards one way a
 // hostile or degenerate input blows up the per-group cost; exceeding a limit
 // degrades the affected subgroup to the cheap full-structural match (see

@@ -121,3 +121,44 @@ func TestDegradationString(t *testing.T) {
 		}
 	}
 }
+
+func TestRescueConvertsPanicToGroupFailure(t *testing.T) {
+	var got *GroupFailure
+	func() {
+		defer Rescue("pool", func(f *GroupFailure) { got = f })
+		panic("worker exploded")
+	}()
+	if got == nil {
+		t.Fatal("Rescue did not invoke the handler")
+	}
+	if got.Group != AnyGroup {
+		t.Errorf("Group = %d, want AnyGroup", got.Group)
+	}
+	if got.Stage != "pool" {
+		t.Errorf("Stage = %q, want pool", got.Stage)
+	}
+	if got.Message != "worker exploded" {
+		t.Errorf("Message = %q", got.Message)
+	}
+	if !strings.Contains(got.Stack, "guard_test") {
+		t.Errorf("stack does not show the panic site:\n%s", got.Stack)
+	}
+}
+
+func TestRescueNoPanicIsNoop(t *testing.T) {
+	called := false
+	func() {
+		defer Rescue("pool", func(*GroupFailure) { called = true })
+	}()
+	if called {
+		t.Error("handler invoked without a panic")
+	}
+}
+
+func TestRescueNilHandlerContains(t *testing.T) {
+	// Must not re-panic or crash: the nil handler merely contains.
+	func() {
+		defer Rescue("pool", nil)
+		panic("contained")
+	}()
+}

@@ -154,6 +154,93 @@ func TestFingerprintPinOrderSignificant(t *testing.T) {
 	}
 }
 
+// TestFingerprintPinOrderSymmetricGate pins that input pin order is part of
+// the identity even for commutative gate kinds: the fingerprint is a
+// structural cache key, not a functional one, so And(a, b) and And(b, a)
+// must hash differently rather than collapsing onto one cache entry.
+func TestFingerprintPinOrderSymmetricGate(t *testing.T) {
+	build := func(swap bool) *Netlist {
+		nl := New("fp")
+		for _, n := range []string{"a", "b", "y"} {
+			id := nl.MustNet(n)
+			if n != "y" {
+				nl.MarkPI(id)
+			}
+		}
+		a, _ := nl.NetByName("a")
+		b, _ := nl.NetByName("b")
+		y, _ := nl.NetByName("y")
+		nl.MarkPO(y)
+		if swap {
+			nl.MustGate("g", logic.And, y, b, a)
+		} else {
+			nl.MustGate("g", logic.And, y, a, b)
+		}
+		return nl
+	}
+	if build(false).Fingerprint() == build(true).Fingerprint() {
+		t.Error("fingerprint ignores pin order on a commutative gate")
+	}
+}
+
+// TestFingerprintNameBoundaries is the concatenation attack on the gate
+// record hash: both variants declare the same net set and their gate input
+// names concatenate to the same byte stream ("ab"+"c" vs "a"+"bc"), so only
+// the per-name length folding in fnvString keeps the records apart.
+func TestFingerprintNameBoundaries(t *testing.T) {
+	build := func(in1, in2 string) *Netlist {
+		nl := New("fp")
+		for _, n := range []string{"a", "b", "c", "ab", "bc", "y"} {
+			id := nl.MustNet(n)
+			if n != "y" {
+				nl.MarkPI(id)
+			}
+		}
+		i1, _ := nl.NetByName(in1)
+		i2, _ := nl.NetByName(in2)
+		y, _ := nl.NetByName("y")
+		nl.MarkPO(y)
+		nl.MustGate("g", logic.And, y, i1, i2)
+		return nl
+	}
+	if build("ab", "c").Fingerprint() == build("a", "bc").Fingerprint() {
+		t.Error("fingerprint blind to pin name boundaries: [ab c] collides with [a bc]")
+	}
+}
+
+// TestFingerprintDriverSwap pins that which gate drives which net is part of
+// the identity: two same-kind gates with their outputs exchanged describe a
+// different circuit even though the net set and the multiset of input lists
+// are unchanged.
+func TestFingerprintDriverSwap(t *testing.T) {
+	build := func(swap bool) *Netlist {
+		nl := New("fp")
+		for _, n := range []string{"a", "b", "x", "y"} {
+			id := nl.MustNet(n)
+			if n == "a" || n == "b" {
+				nl.MarkPI(id)
+			}
+		}
+		a, _ := nl.NetByName("a")
+		b, _ := nl.NetByName("b")
+		x, _ := nl.NetByName("x")
+		y, _ := nl.NetByName("y")
+		nl.MarkPO(x)
+		nl.MarkPO(y)
+		if swap {
+			nl.MustGate("g1", logic.And, y, a, b)
+			nl.MustGate("g2", logic.Or, x, a, b)
+		} else {
+			nl.MustGate("g1", logic.And, x, a, b)
+			nl.MustGate("g2", logic.Or, y, a, b)
+		}
+		return nl
+	}
+	if build(false).Fingerprint() == build(true).Fingerprint() {
+		t.Error("fingerprint ignores which gate drives which net")
+	}
+}
+
 func TestFingerprintStable(t *testing.T) {
 	nl := buildFP(t, false)
 	if nl.Fingerprint() != nl.Fingerprint() {

@@ -13,6 +13,7 @@ package reduce
 
 import (
 	"fmt"
+	"sort"
 
 	"gatewords/internal/logic"
 	"gatewords/internal/netlist"
@@ -79,6 +80,10 @@ func ApplyObserved(nl *netlist.Netlist, assign map[netlist.NetID]logic.Value, re
 			queue = append(queue, n)
 		}
 	}
+	// The fixpoint is confluent, but the peak-queue-depth gauge reported
+	// below is not: canonicalize the map-ordered seeds so observability
+	// output is as deterministic as the result.
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
 	inbuf := make([]logic.Value, 0, 8)
 	visits, maxQueue := int64(0), int64(len(queue))
 	for len(queue) > 0 {
@@ -202,6 +207,7 @@ func (r *Reduction) Value(n netlist.NetID) logic.Value { return r.vals[n] }
 func (r *Reduction) DirtyDistances(maxDist int) map[netlist.NetID]int {
 	dist := make(map[netlist.NetID]int, 2*len(r.vals))
 	frontier := make([]netlist.NetID, 0, len(r.vals))
+	//anlz:ignore mapdet level-order BFS: dist assigns each net its level, so the returned map is order-independent
 	for n := range r.vals {
 		dist[n] = 0
 		frontier = append(frontier, n)
@@ -242,6 +248,7 @@ func (r *Reduction) DirtyDistances(maxDist int) map[netlist.NetID]int {
 func (r *Reduction) DirtyDistancesIn(scope map[netlist.NetID]bool, maxDist int) map[netlist.NetID]int {
 	dist := make(map[netlist.NetID]int)
 	frontier := make([]netlist.NetID, 0, 16)
+	//anlz:ignore mapdet level-order BFS: dist assigns each net its level, so the returned map is order-independent
 	for n := range scope {
 		if r.vals[n].Known() {
 			dist[n] = 0

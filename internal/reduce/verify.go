@@ -81,6 +81,15 @@ func (r *Reduction) VerifyCones(roots []netlist.NetID, depth int, opt eqcheck.Op
 	res := &VerifyResult{}
 	for _, root := range roots {
 		check := ConeCheck{Root: root, Name: r.nl.NetName(root)}
+		if opt.Cancelled() {
+			// Deadline-bounded sweeps stay a strict prefix: every root past
+			// the cancellation point is reported Unknown/"cancelled", never
+			// silently dropped.
+			check.Result = eqcheck.CancelledResult()
+			res.Unknown++
+			res.Checks = append(res.Checks, check)
+			continue
+		}
 		internal := aig.ConeInternal(orig, root, depth)
 		la, errA := cl.LowerCut(orig, root, internal)
 		lb, errB := cl.LowerCut(r, root, internal)

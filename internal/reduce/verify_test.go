@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"testing"
 
 	"gatewords/internal/eqcheck"
@@ -139,4 +140,40 @@ func mustID(t *testing.T, nl *netlist.Netlist, name string) netlist.NetID {
 		t.Fatalf("no net %q", name)
 	}
 	return id
+}
+
+// TestVerifyConesCancelled pins the deadline contract: with the options'
+// context already cancelled, every root is still reported — as
+// Unknown/"cancelled" — so a bounded sweep yields a complete, deterministic
+// check list rather than a silently truncated one.
+func TestVerifyConesCancelled(t *testing.T) {
+	nl := buildVerifyNetlist(t)
+	c := mustID(t, nl, "c")
+	red, err := Apply(nl, map[netlist.NetID]logic.Value{c: logic.Zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := red.DirtyRoots()
+	if len(roots) == 0 {
+		t.Fatal("no dirty roots for c=0")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := red.VerifyCones(roots, 8, eqcheck.Options{Context: ctx})
+	if len(res.Checks) != len(roots) {
+		t.Fatalf("got %d checks for %d roots", len(res.Checks), len(roots))
+	}
+	if res.Unknown != len(roots) || res.Proved != 0 || res.Refuted != 0 {
+		t.Fatalf("cancelled sweep counts = %+v, want all Unknown", res)
+	}
+	for _, chk := range res.Checks {
+		if chk.Verdict != eqcheck.Unknown || chk.Stage != "cancelled" {
+			t.Errorf("root %s: verdict %v stage %q, want Unknown/cancelled", chk.Name, chk.Verdict, chk.Stage)
+		}
+	}
+	// An un-cancelled context changes nothing.
+	live := red.VerifyCones(roots, 8, eqcheck.Options{Context: context.Background()})
+	if !live.Sound() || live.Unknown != 0 {
+		t.Fatalf("live context sweep not proved: %+v", live)
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"gatewords"
+	"gatewords/internal/guard"
 )
 
 // Config sizes the server. The zero value is serviceable: GOMAXPROCS
@@ -219,6 +220,10 @@ type Counters struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int64 `json:"cache_entries"`
+	// WorkerPanics counts panics recovered by the worker-pool boundaries —
+	// escapes from runJob's bookkeeping, which executeJob's own pipeline
+	// boundary does not cover. Each one failed a job but kept its worker.
+	WorkerPanics int64 `json:"worker_panics"`
 }
 
 // Server is the identification daemon: job store, worker pool, result
@@ -262,8 +267,16 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer guard.Rescue("worker", func(*guard.GroupFailure) {
+				// Backstop for a panic outside any job (the per-job boundary
+				// in runJobGuarded handles everything job-scoped). The
+				// worker dies, the process and its siblings do not.
+				s.mu.Lock()
+				s.counters.WorkerPanics++
+				s.mu.Unlock()
+			})
 			for job := range s.queue {
-				s.runJob(job)
+				s.runJobGuarded(job)
 			}
 		}()
 	}
@@ -390,16 +403,65 @@ func (s *Server) Lookup(id string) (*Job, bool) {
 // Observer, one gatewords.Identify, serialized report. Completion moves the
 // job — and every duplicate coalesced onto it — to a terminal state, feeds
 // the cache, and folds the job's observations into the served aggregate.
+// runJobGuarded is the worker's per-job recover boundary: a panic escaping
+// runJob — bookkeeping outside executeJob's own pipeline boundary — fails
+// the job and its coalesced waiters instead of killing the worker and
+// leaving them waiting on a Done channel that never closes.
+func (s *Server) runJobGuarded(job *Job) {
+	defer guard.Rescue("job", func(f *guard.GroupFailure) {
+		s.failJobAfterPanic(job, f)
+	})
+	s.runJob(job)
+}
+
+// failJobAfterPanic moves a job (and its waiters) to StateFailed after a
+// recovered panic, repairing the counters the interrupted runJob left
+// mid-update. Jobs already terminal are left untouched.
+func (s *Server) failJobAfterPanic(job *Job, f *guard.GroupFailure) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.WorkerPanics++
+	if s.inflight[job.Key] == job {
+		delete(s.inflight, job.Key)
+	}
+	switch job.State {
+	case StateRunning:
+		s.counters.JobsRunning--
+	case StateQueued:
+		s.counters.JobsQueued--
+	}
+	msg := fmt.Sprintf("worker panicked at stage %q: %s", f.Stage, f.Message)
+	terminalize := func(j *Job) {
+		if j.State == StateDone || j.State == StateFailed {
+			return
+		}
+		j.State = StateFailed
+		j.Err = msg
+		s.counters.JobsFailed++
+		j.design = nil
+		close(j.Done)
+	}
+	terminalize(job)
+	for _, w := range job.waiters {
+		terminalize(w)
+	}
+	job.waiters = nil
+}
+
 func (s *Server) runJob(job *Job) {
 	if gate := s.testJobGate; gate != nil {
 		<-gate
 	}
-	s.mu.Lock()
-	job.State = StateRunning
-	s.counters.JobsQueued--
-	s.counters.JobsRunning++
-	s.counters.PipelineRuns++
-	s.mu.Unlock()
+	func() {
+		// Deferred unlock so a panic between Lock and Unlock cannot leak mu
+		// into failJobAfterPanic's own critical section.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		job.State = StateRunning
+		s.counters.JobsQueued--
+		s.counters.JobsRunning++
+		s.counters.PipelineRuns++
+	}()
 
 	observer := gatewords.NewObserver()
 	report, interrupted, err := executeJob(job, observer)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gatewords"
+	"gatewords/internal/guard"
 	"gatewords/internal/report"
 )
 
@@ -582,5 +583,81 @@ func TestSubmitDirect(t *testing.T) {
 	}
 	if _, err := s.Submit(d, JobOptions{Lint: "bogus"}); err == nil {
 		t.Error("bogus lint mode accepted")
+	}
+}
+
+// TestRunJobGuardedRecoversWorkerPanic drives a panic through runJob's
+// bookkeeping — outside executeJob's own pipeline boundary — by handing the
+// worker a job with a nil Done channel (close(nil) panics in finishLocked).
+// The per-job rescue must fail the job's coalesced waiters, repair the
+// counters, and leave the server serving.
+func TestRunJobGuardedRecoversWorkerPanic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	waiter := &Job{ID: "job-w", Key: "poison", State: StateQueued, Done: make(chan struct{})}
+	job := &Job{ID: "job-p", Key: "poison", State: StateQueued} // Done nil: poisoned
+	job.waiters = []*Job{waiter}
+	s.mu.Lock()
+	s.inflight["poison"] = job
+	s.counters.JobsQueued++
+	s.mu.Unlock()
+
+	s.runJobGuarded(job)
+
+	select {
+	case <-waiter.Done:
+	default:
+		t.Fatal("waiter's Done channel never closed after the worker panic")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters.WorkerPanics != 1 {
+		t.Errorf("worker_panics = %d, want 1", s.counters.WorkerPanics)
+	}
+	if s.counters.JobsRunning != 0 || s.counters.JobsQueued != 0 {
+		t.Errorf("running/queued = %d/%d, want 0/0", s.counters.JobsRunning, s.counters.JobsQueued)
+	}
+	if _, ok := s.inflight["poison"]; ok {
+		t.Error("poisoned job still inflight")
+	}
+	if waiter.State != StateFailed || !strings.Contains(waiter.Err, "worker panicked") {
+		t.Errorf("waiter state %q err %q, want failed/worker panicked", waiter.State, waiter.Err)
+	}
+}
+
+// TestFailJobAfterPanic covers the repair helper in isolation: counters for
+// each pre-panic state, inflight cleanup, and terminal-state idempotence.
+func TestFailJobAfterPanic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	running := &Job{ID: "job-r", Key: "kr", State: StateRunning, Done: make(chan struct{})}
+	done := &Job{ID: "job-d", Key: "kr", State: StateDone, Done: make(chan struct{})}
+	close(done.Done)
+	running.waiters = []*Job{done}
+	s.mu.Lock()
+	s.inflight["kr"] = running
+	s.counters.JobsRunning++
+	s.mu.Unlock()
+
+	s.failJobAfterPanic(running, guard.NewGroupFailure(guard.AnyGroup, "job", "boom"))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if running.State != StateFailed || !strings.Contains(running.Err, "boom") {
+		t.Errorf("job state %q err %q", running.State, running.Err)
+	}
+	select {
+	case <-running.Done:
+	default:
+		t.Error("failed job's Done not closed")
+	}
+	if done.State != StateDone {
+		t.Errorf("already-terminal waiter rewritten to %q", done.State)
+	}
+	if s.counters.JobsRunning != 0 || s.counters.JobsFailed != 1 || s.counters.WorkerPanics != 1 {
+		t.Errorf("running/failed/panics = %d/%d/%d, want 0/1/1",
+			s.counters.JobsRunning, s.counters.JobsFailed, s.counters.WorkerPanics)
 	}
 }
