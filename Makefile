@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke race
+.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke bench-scoap bench-scoap-smoke race
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,10 @@ vet-fix:
 
 # check is the full pre-commit gate: vet, formatting, the contract
 # analyzers, the race-detector test pass (which subsumes the plain test
-# pass — every test runs exactly once, instrumented), and the
-# fault-injection matrix. gatevet runs before the test passes: contract
-# findings are cheaper to surface than a full race run.
+# pass — every test runs exactly once, instrumented), the fault-injection
+# matrix, the daemon smoke, and the bench-scoap emitter smoke. gatevet runs
+# before the test passes: contract findings are cheaper to surface than a
+# full race run.
 check:
 	$(GO) vet ./...
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
@@ -42,6 +43,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) faults
 	$(MAKE) serve-smoke
+	$(MAKE) bench-scoap-smoke
 
 # faults runs the fault-injection matrix under the race detector: the guard
 # package's own tests, every stage-level injection point (TestFaultMatrix
@@ -81,3 +83,16 @@ bench-pipeline:
 # paying for the b17/b18 rows.
 bench-pipeline-smoke:
 	BENCH_PIPELINE_OUT=$$(mktemp) BENCH_PIPELINE_BENCHES=b03a,b08a $(GO) test -run TestEmitPipelineBench -v .
+
+# bench-scoap regenerates the committed SCOAP-engine throughput baseline
+# BENCH_scoap.json: scoap.Compute (forward controllability + backward
+# observability to their fixed points) over the b14/b15 analogs, recording
+# gates/sec, solver iterations, and widened-SCC counts.
+bench-scoap:
+	BENCH_SCOAP_OUT=$(CURDIR)/BENCH_scoap.json $(GO) test -run TestEmitScoapBench -v .
+
+# bench-scoap-smoke exercises the same harness on one small analog and a
+# throwaway output file — the CI guard that the emitter keeps working without
+# paying for a full regeneration.
+bench-scoap-smoke:
+	BENCH_SCOAP_OUT=$$(mktemp) BENCH_SCOAP_BENCHES=b03a $(GO) test -run TestEmitScoapBench -v .

@@ -1,0 +1,136 @@
+package gatewords
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"gatewords/internal/bench"
+	"gatewords/internal/scoap"
+)
+
+// scoapBenchFile is the committed SCOAP-engine throughput baseline emitted by
+// `make bench-scoap` and schema-checked by TestBenchScoapJSONWellFormed on
+// every test run.
+const scoapBenchFile = "BENCH_scoap.json"
+
+// scoapBenchDefaults are the analogs the committed baseline covers: the two
+// mid-size benches where the fixed-point solver's throughput is meaningful
+// but a regeneration still takes seconds, not minutes.
+var scoapBenchDefaults = []string{"b14a", "b15a"}
+
+type scoapBenchRow struct {
+	Bench       string  `json:"bench"`
+	Gates       int     `json:"gates"`
+	Nets        int     `json:"nets"`
+	Iterations  int64   `json:"iterations"`
+	WidenedSCCs int     `json:"widened_sccs"`
+	ComputeMS   float64 `json:"compute_ms"`
+	GatesPerSec float64 `json:"gates_per_sec"`
+}
+
+type scoapBenchDoc struct {
+	Note    string          `json:"note"`
+	Benches []scoapBenchRow `json:"benches"`
+}
+
+// TestEmitScoapBench is the bench-scoap harness (see `make bench-scoap`): it
+// times scoap.Compute — both dataflow passes, forward controllability and
+// backward observability, to their fixed points — over the default analogs
+// and writes the throughput rows to the JSON file named by BENCH_SCOAP_OUT.
+// Without that variable it is skipped, so the regular test run stays fast.
+// BENCH_SCOAP_BENCHES, when set, overrides the bench list — the CI smoke
+// uses it to run one small analog against a throwaway file.
+func TestEmitScoapBench(t *testing.T) {
+	out := os.Getenv("BENCH_SCOAP_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SCOAP_OUT to emit " + scoapBenchFile)
+	}
+	names := scoapBenchDefaults
+	if subset := os.Getenv("BENCH_SCOAP_BENCHES"); subset != "" {
+		names = nil
+		for _, name := range strings.Split(subset, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	doc := scoapBenchDoc{
+		Note: "scoap.Compute wall time and gate throughput (CC0/CC1 forward + CO backward to fixed point) per analog; gates counts combinational gates plus DFFs",
+	}
+	for _, name := range names {
+		p, ok := bench.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown bench profile %q", name)
+		}
+		gen, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Warm once so the measured run sees a hot allocator, then time the
+		// real pass.
+		scoap.Compute(gen.NL, scoap.Config{})
+		start := time.Now()
+		res := scoap.Compute(gen.NL, scoap.Config{})
+		elapsed := time.Since(start)
+		stats := gen.NL.ComputeStats()
+		gates := stats.Gates + stats.DFFs
+		ms := float64(elapsed.Microseconds()) / 1000
+		row := scoapBenchRow{
+			Bench:       name,
+			Gates:       gates,
+			Nets:        gen.NL.NetCount(),
+			Iterations:  res.Iterations,
+			WidenedSCCs: res.WidenedSCCs,
+			ComputeMS:   ms,
+			GatesPerSec: float64(gates) / elapsed.Seconds(),
+		}
+		doc.Benches = append(doc.Benches, row)
+		t.Logf("%s: %d gates in %.1fms (%.0f gates/sec, %d iterations, %d widened SCCs)",
+			name, gates, ms, row.GatesPerSec, res.Iterations, res.WidenedSCCs)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestBenchScoapJSONWellFormed guards the committed baseline: the file must
+// parse, cover the default analogs in order, and carry sane rows. Timings are
+// machine-dependent and are only checked for sanity (positive wall time and
+// throughput, solver iterations at least one sweep, no widening on the acyclic
+// analogs).
+func TestBenchScoapJSONWellFormed(t *testing.T) {
+	data, err := os.ReadFile(scoapBenchFile)
+	if err != nil {
+		t.Fatalf("missing committed baseline (run `make bench-scoap`): %v", err)
+	}
+	var doc scoapBenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("%s: %v", scoapBenchFile, err)
+	}
+	if len(doc.Benches) != len(scoapBenchDefaults) {
+		t.Fatalf("%d benches, want %d (%v)", len(doc.Benches), len(scoapBenchDefaults), scoapBenchDefaults)
+	}
+	for i, row := range doc.Benches {
+		if want := scoapBenchDefaults[i]; row.Bench != want {
+			t.Errorf("bench[%d] = %q, want %q", i, row.Bench, want)
+		}
+		if row.Gates <= 0 || row.Nets <= 0 {
+			t.Errorf("%s: degenerate size row: %+v", row.Bench, row)
+		}
+		if row.Iterations <= 0 {
+			t.Errorf("%s: %d solver iterations, want > 0", row.Bench, row.Iterations)
+		}
+		if row.WidenedSCCs != 0 {
+			t.Errorf("%s: %d widened SCCs — the analog suite is acyclic per scan stage, widening means the solver regressed", row.Bench, row.WidenedSCCs)
+		}
+		if row.ComputeMS <= 0 || row.GatesPerSec <= 0 {
+			t.Errorf("%s: non-positive timing row: %+v", row.Bench, row)
+		}
+	}
+}

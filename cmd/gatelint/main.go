@@ -5,7 +5,12 @@
 // duplicated gates, and anomalously high-fanout candidate control signals.
 // With -semantic it additionally runs the NL4xx rules, which lower the
 // design into an AIG and use SAT to prove constant outputs, semantically
-// duplicated drivers, and dead mux branches.
+// duplicated drivers, and dead mux branches. The NL5xx testability rules
+// run a SCOAP dataflow analysis and flag low-testability clusters, adjacency
+// outliers, and always-X nets.
+//
+// -only and -disable accept rule IDs ("NL500"), names ("always-x"), or
+// family prefixes ("NL5" selects every NL5xx rule).
 //
 // Usage:
 //
@@ -37,8 +42,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as deterministic JSON")
 	rulesOut := fs.Bool("rules", false, "print the rule registry and exit")
-	only := fs.String("only", "", "comma-separated rule IDs or names to run exclusively")
-	disable := fs.String("disable", "", "comma-separated rule IDs or names to skip")
+	only := fs.String("only", "", "comma-separated rule IDs, names, or family prefixes (NL5) to run exclusively")
+	disable := fs.String("disable", "", "comma-separated rule IDs, names, or family prefixes (NL5) to skip")
 	semantic := fs.Bool("semantic", false, "also run the NL4xx semantic rules (AIG + SAT proofs)")
 	budget := fs.Int("sat-budget", 0, "conflict cap per semantic SAT query (0 = default, negative disables SAT)")
 	quiet := fs.Bool("q", false, "suppress the summary line on stderr")

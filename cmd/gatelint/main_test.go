@@ -62,6 +62,65 @@ func TestUnknownRuleRejected(t *testing.T) {
 	if code, _, stderr := runGatelint(t, semModule, "-only", "multi-driver"); code != 0 {
 		t.Errorf("-only multi-driver: exit %d\n%s", code, stderr)
 	}
+	// The rejection message must mention family prefixes as a valid form.
+	if code, _, stderr := runGatelint(t, semModule, "-only", "NL9"); code != 3 || !strings.Contains(stderr, "family prefix") {
+		t.Errorf("-only NL9: exit %d, error must mention family prefixes:\n%s", code, stderr)
+	}
+}
+
+// TestFamilyPrefixFlags: -only/-disable accept family prefixes end to end.
+func TestFamilyPrefixFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		want     []string // substrings that must appear on stdout
+		wantNot  []string // substrings that must not
+	}{
+		{
+			name:     "only NL4 runs the semantic family without -semantic",
+			args:     []string{"-only", "NL4"},
+			wantCode: 1, // NL400/NL402 warns
+			want:     []string{"NL400", "NL402"},
+			wantNot:  []string{"NL2"},
+		},
+		{
+			name:     "only NL2 restricts to the structural-warning family",
+			args:     []string{"-only", "NL2"},
+			wantCode: 0,
+			wantNot:  []string{"NL400"},
+		},
+		{
+			name:     "disable NL4 under -semantic silences the family",
+			args:     []string{"-semantic", "-disable", "NL4"},
+			wantCode: 0,
+			wantNot:  []string{"NL400", "NL402"},
+		},
+		{
+			name:     "prefix and exact ID mix",
+			args:     []string{"-only", "NL4,NL003"},
+			wantCode: 1,
+			want:     []string{"NL400"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, stderr := runGatelint(t, semModule, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.wantCode, out, stderr)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("stdout missing %q:\n%s", w, out)
+				}
+			}
+			for _, w := range tc.wantNot {
+				if strings.Contains(out, w) {
+					t.Errorf("stdout unexpectedly contains %q:\n%s", w, out)
+				}
+			}
+		})
+	}
 }
 
 func TestSemanticFlag(t *testing.T) {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyModule is a clean little design: every suspect scores low.
+const tinyModule = `
+module tiny (a, b, q);
+  input a, b;
+  output q;
+  wire y;
+  and g1 (y, a, b);
+  DFF r1 (.D(y), .Q(q), .CK(a));
+endmodule
+`
+
+func runGatetriage(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeBySeverity(t *testing.T) {
+	code, out, stderr := runGatetriage(t, tinyModule)
+	if code != 0 {
+		t.Errorf("clean design: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(out, "tiny:") {
+		t.Errorf("text output missing module summary:\n%s", out)
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	_, out1, _ := runGatetriage(t, tinyModule, "-json")
+	_, out2, _ := runGatetriage(t, tinyModule, "-json")
+	if out1 != out2 {
+		t.Errorf("two -json runs differ:\n%s----\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, `"suspects"`) || !strings.Contains(out1, `"module"`) {
+		t.Errorf("JSON output missing expected fields:\n%s", out1)
+	}
+}
+
+func TestTopFlag(t *testing.T) {
+	code, out, _ := runGatetriage(t, tinyModule, "-top", "1")
+	if code != 0 {
+		t.Errorf("exit %d", code)
+	}
+	if n := strings.Count(out, "\n"); n > 2 {
+		t.Errorf("-top 1 printed %d lines:\n%s", n, out)
+	}
+}
+
+func TestParseErrorExit3(t *testing.T) {
+	if code, _, _ := runGatetriage(t, "not verilog {{{"); code != 3 {
+		t.Errorf("unparsable input: exit %d, want 3", code)
+	}
+	if code, _, _ := runGatetriage(t, "", "/does/not/exist.v"); code != 3 {
+		t.Errorf("missing file: exit %d, want 3", code)
+	}
+	if code, _, _ := runGatetriage(t, tinyModule, "a.v", "b.v"); code != 3 {
+		t.Errorf("two positional args: exit %d, want 3", code)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	code, _, stderr := runGatetriage(t, tinyModule, "-stats")
+	if code != 0 {
+		t.Errorf("exit %d", code)
+	}
+	if !strings.Contains(stderr, "scoap") || !strings.Contains(stderr, "triage_suspects") {
+		t.Errorf("-stats breakdown missing scoap stage or triage counter:\n%s", stderr)
+	}
+}

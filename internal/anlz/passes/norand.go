@@ -25,6 +25,7 @@ var NoRand = &anlz.Analyzer{
 		"gatewords/internal/eqcheck",
 		"gatewords/internal/netlist",
 		"gatewords/internal/netlint",
+		"gatewords/internal/scoap",
 		"gatewords/internal/sim",
 		"gatewords/internal/bench",
 	},

@@ -21,6 +21,7 @@ package netlint
 
 import (
 	"gatewords/internal/netlist"
+	"gatewords/internal/scoap"
 )
 
 // Severity ranks a diagnostic. Error-severity diagnostics mean the netlist
@@ -64,12 +65,25 @@ func SeverityFromString(s string) (Severity, bool) {
 // elements (for a combinational cycle, Gates lists the members in cycle
 // order); Message is self-contained and embeds the principal names.
 type Diagnostic struct {
-	Rule     string   `json:"rule"`
-	Name     string   `json:"name"`
+	Rule string `json:"rule"`
+	Name string `json:"name"`
+	// Family is the rule's family prefix ("NL0xx", "NL5xx"): a stable field
+	// so downstream tooling (gatetriage, external consumers) can bucket
+	// diagnostics without re-parsing rule IDs.
+	Family   string   `json:"family"`
 	Severity string   `json:"severity"`
 	Message  string   `json:"message"`
 	Gates    []string `json:"gates,omitempty"`
 	Nets     []string `json:"nets,omitempty"`
+}
+
+// Family returns the family prefix of a rule ID: "NL003" → "NL0xx". IDs too
+// short to carry a family collapse to themselves.
+func Family(ruleID string) string {
+	if len(ruleID) < 5 {
+		return ruleID
+	}
+	return ruleID[:len(ruleID)-2] + "xx"
 }
 
 // Config selects which rules run. The zero value runs every structural rule;
@@ -96,7 +110,7 @@ type Config struct {
 func (c Config) enabled(r *Rule) bool {
 	match := func(list []string) bool {
 		for _, s := range list {
-			if s == r.ID || s == r.Name {
+			if matchesRule(s, r) {
 				return true
 			}
 		}
@@ -112,6 +126,36 @@ func (c Config) enabled(r *Rule) bool {
 		return false
 	}
 	return true
+}
+
+// matchesRule reports whether a selector names the rule: its exact ID, its
+// exact name, or a family prefix — any "NL"-prefixed string that is a proper
+// prefix of the ID ("NL5" and "NL5xx"-style "NL50" both select NL50x rules).
+func matchesRule(s string, r *Rule) bool {
+	if s == r.ID || s == r.Name {
+		return true
+	}
+	return matchesPrefix(s, r.ID)
+}
+
+// matchesPrefix reports whether s is a family-prefix selector matching rule
+// ID id.
+func matchesPrefix(s, id string) bool {
+	if len(s) < 2 || len(s) >= len(id) || s[:2] != "NL" {
+		return false
+	}
+	return id[:len(s)] == s
+}
+
+// KnownSelector reports whether s selects at least one registered rule — an
+// exact ID, an exact name, or a family prefix like "NL5".
+func KnownSelector(s string) bool {
+	for i := range rules {
+		if matchesRule(s, &rules[i]) {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is the outcome of a lint run.
@@ -165,6 +209,10 @@ type context struct {
 	// sem caches the AIG lowering and simulation signatures across the
 	// NL4xx rules; built lazily on first semantic rule.
 	sem *semState
+
+	// scoap caches the testability fixed point across the NL5xx rules;
+	// built lazily on first testability rule.
+	scoap *scoap.Result
 }
 
 func (c *context) violations() []netlist.Violation {
@@ -180,6 +228,7 @@ func (c *context) report(msg string, gates []string, nets []string) {
 	c.diags = append(c.diags, Diagnostic{
 		Rule:     c.rule.ID,
 		Name:     c.rule.Name,
+		Family:   Family(c.rule.ID),
 		Severity: c.rule.Severity.String(),
 		Message:  msg,
 		Gates:    gates,

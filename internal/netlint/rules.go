@@ -116,6 +116,21 @@ var rules = []Rule{
 		Doc: "MUX2 select is provably constant, so one data branch can never be selected",
 		run: runDeadMuxBranch,
 	},
+	{
+		ID: "NL500", Name: "low-testability", Severity: Warn,
+		Doc: "connected cluster of nets with SCOAP testability ≥ kσ above the design profile: candidate stealthy logic",
+		run: runLowTestability,
+	},
+	{
+		ID: "NL501", Name: "scoap-outlier", Severity: Warn,
+		Doc: "gate whose SCOAP score deviates >kσ from its adjacency group: misgrouped bit or extra logic riding a word",
+		run: runScoapOutlier,
+	},
+	{
+		ID: "NL502", Name: "always-x", Severity: Warn,
+		Doc: "driven net is provably uncontrollable (CC0 = CC1 = ∞): downstream logic computes on X",
+		run: runAlwaysX,
+	},
 }
 
 // structuralRule adapts the shared netlist.StructuralViolations checks

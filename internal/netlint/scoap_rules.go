@@ -1,0 +1,222 @@
+// The NL5xx family: testability dataflow rules built on the SCOAP fixed
+// point (internal/scoap). Where NL300 asks a structural question (anomalous
+// fanout), these ask the semantic version: how hard is each net to control
+// and observe? Low-testability outliers are the canonical hardware-Trojan
+// tell — trigger logic is designed to be near-impossible to activate, which
+// is exactly what high SCOAP scores measure.
+package netlint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gatewords/internal/group"
+	"gatewords/internal/netlist"
+	"gatewords/internal/scoap"
+)
+
+// scoapMinNets gates the statistical NL5xx rules: below this many scored
+// nets the mean/σ profile is too noisy to call anything an outlier.
+const scoapMinNets = 20
+
+// scoapSigmaK is the outlier threshold in standard deviations.
+const scoapSigmaK = 3.0
+
+// scoapResult lazily computes and caches the SCOAP scores for the run.
+func (c *context) scoapResult() *scoap.Result {
+	if c.scoap == nil {
+		c.scoap = scoap.Compute(c.nl, scoap.Config{})
+	}
+	return c.scoap
+}
+
+// finiteStats returns mean and σ of the finite testability scores of
+// fanout-bearing nets, plus how many nets were scored.
+func finiteStats(nl *netlist.Netlist, r *scoap.Result) (mean, sigma float64, n int) {
+	var sum, sumSq float64
+	for ni := 0; ni < nl.NetCount(); ni++ {
+		id := netlist.NetID(ni)
+		if len(nl.Net(id).Fanout) == 0 && !nl.Net(id).IsPO {
+			continue
+		}
+		t := r.Testability(id)
+		if t == scoap.Inf {
+			continue
+		}
+		sum += float64(t)
+		sumSq += float64(t) * float64(t)
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mean = sum / float64(n)
+	sigma = math.Sqrt(sumSq/float64(n) - mean*mean)
+	return mean, sigma, n
+}
+
+// runLowTestability (NL500) reports clusters of connected low-testability
+// nets. A net is low-testability when its finite SCOAP score sits ≥ kσ above
+// the design profile; flagged nets connected through a common gate merge
+// into one cluster, because Trojan trigger cones are contiguous — a lone
+// awkward net is noise, a connected region of them is a candidate.
+func runLowTestability(c *context) {
+	r := c.scoapResult()
+	mean, sigma, n := finiteStats(c.nl, r)
+	if n < scoapMinNets {
+		return
+	}
+	threshold := mean + scoapSigmaK*sigma
+	flagged := make([]bool, c.nl.NetCount())
+	var any bool
+	for ni := 0; ni < c.nl.NetCount(); ni++ {
+		id := netlist.NetID(ni)
+		t := r.Testability(id)
+		if t != scoap.Inf && float64(t) >= threshold {
+			flagged[ni] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	// Union flagged nets that share a gate (driver or reader) into clusters.
+	parent := make([]int, c.nl.NetCount())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for gi := 0; gi < c.nl.GateCount(); gi++ {
+		g := c.nl.Gate(netlist.GateID(gi))
+		out := int(g.Output)
+		if out < 0 || out >= len(flagged) || !flagged[out] {
+			continue
+		}
+		for _, in := range g.Inputs {
+			if in >= 0 && int(in) < len(flagged) && flagged[in] {
+				union(out, int(in))
+			}
+		}
+	}
+	// Collect clusters in root order (roots are minimal member IDs, so the
+	// report order is deterministic).
+	members := make(map[int][]netlist.NetID)
+	var roots []int
+	for ni := range flagged {
+		if !flagged[ni] {
+			continue
+		}
+		root := find(ni)
+		if len(members[root]) == 0 {
+			roots = append(roots, root)
+		}
+		members[root] = append(members[root], netlist.NetID(ni))
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		cl := members[root]
+		worst := scoap.Cost(0)
+		names := make([]string, len(cl))
+		for i, id := range cl {
+			names[i] = c.nl.NetName(id)
+			if t := r.Testability(id); t > worst {
+				worst = t
+			}
+		}
+		const maxNamed = 6
+		listed := names
+		more := ""
+		if len(listed) > maxNamed {
+			listed = listed[:maxNamed]
+			more = fmt.Sprintf(", +%d more", len(names)-maxNamed)
+		}
+		c.report(fmt.Sprintf("low-testability cluster of %d net(s) %q%s: worst SCOAP score %d vs design mean %.1f (σ %.1f)",
+			len(cl), listed, more, worst, mean, sigma), nil, names)
+	}
+}
+
+// runScoapOutlier (NL501) flags gates whose output testability deviates by
+// more than kσ from their own adjacency group (the §2.2 word-candidate
+// runs). Bits of one word should be equally hard to reach; a member whose
+// scores stand apart is either misgrouped or extra logic riding the word.
+func runScoapOutlier(c *context) {
+	r := c.scoapResult()
+	const minGroup = 4
+	for _, grp := range group.Adjacent(c.nl, group.Options{}) {
+		if len(grp) < minGroup {
+			continue
+		}
+		var sum, sumSq float64
+		n := 0
+		for _, id := range grp {
+			if t := r.Testability(id); t != scoap.Inf {
+				sum += float64(t)
+				sumSq += float64(t) * float64(t)
+				n++
+			}
+		}
+		if n < minGroup {
+			continue
+		}
+		mean := sum / float64(n)
+		sigma := math.Sqrt(sumSq/float64(n) - mean*mean)
+		if sigma == 0 {
+			continue
+		}
+		for _, id := range grp {
+			t := r.Testability(id)
+			if t == scoap.Inf {
+				continue
+			}
+			if math.Abs(float64(t)-mean) > scoapSigmaK*sigma {
+				g := c.nl.Gate(c.nl.Net(id).Driver)
+				c.report(fmt.Sprintf("gate %q (%s) output %q SCOAP score %d deviates from its adjacency group of %d (mean %.1f, σ %.1f)",
+					g.Name, g.Kind, c.nl.NetName(id), t, len(grp), mean, sigma),
+					[]string{g.Name}, []string{c.nl.NetName(id)})
+			}
+		}
+	}
+}
+
+// runAlwaysX (NL502) reports driven nets the dataflow proves uncontrollable:
+// both CC0 and CC1 are ∞, so the net can never carry a known value from the
+// primary inputs — downstream logic computes on X forever. The structural
+// sources (undriven read nets) are NL204's business; this rule reports the
+// derived poisoning a gate-level view cannot see.
+func runAlwaysX(c *context) {
+	r := c.scoapResult()
+	for ni := 0; ni < c.nl.NetCount(); ni++ {
+		id := netlist.NetID(ni)
+		n := c.nl.Net(id)
+		if n.Driver == netlist.NoGate || !r.AlwaysX(id) {
+			continue
+		}
+		if len(n.Fanout) == 0 && !n.IsPO {
+			continue
+		}
+		co := "∞"
+		if v := r.Observability(id); v != scoap.Inf {
+			co = fmt.Sprintf("%d", v)
+		}
+		c.report(fmt.Sprintf("net %q (driven by %q) is always-X: uncontrollable from the primary inputs (CO %s)",
+			n.Name, c.nl.Gate(n.Driver).Name, co),
+			[]string{c.nl.Gate(n.Driver).Name}, []string{n.Name})
+	}
+}

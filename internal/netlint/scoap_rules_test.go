@@ -1,0 +1,203 @@
+package netlint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// lowTestabilityNetlist builds a design whose SCOAP profile has a clear
+// outlier region: 60 cheap buffers plus a two-gate stack of wide ANDs whose
+// controllability dwarfs the design mean.
+func lowTestabilityNetlist() *netlist.Netlist {
+	nl := netlist.New("lowtest")
+	p := nl.MustNet("p")
+	nl.MarkPI(p)
+	bufs := make([]netlist.NetID, 60)
+	for i := range bufs {
+		b := nl.MustNet(fmt.Sprintf("b%02d", i))
+		nl.MustGate(fmt.Sprintf("bg%02d", i), logic.Buf, b, p)
+		nl.MarkPO(b)
+		bufs[i] = b
+	}
+	w1 := nl.MustNet("wide1")
+	nl.MustGate("wg1", logic.And, w1, bufs[:20]...)
+	w2 := nl.MustNet("wide2")
+	nl.MustGate("wg2", logic.And, w2, w1, bufs[20])
+	nl.MarkPO(w2)
+	return nl
+}
+
+// TestLowTestabilityCluster: NL500 reports the connected wide-AND stack as
+// one cluster and nothing else.
+func TestLowTestabilityCluster(t *testing.T) {
+	res := Run(lowTestabilityNetlist(), Config{Only: []string{"NL500"}})
+	diags := res.ByRule("NL500")
+	if len(diags) != 1 {
+		t.Fatalf("NL500 fired %d times, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if len(d.Nets) != 2 {
+		t.Errorf("cluster nets = %v, want the two wide nets", d.Nets)
+	}
+	if !strings.Contains(d.Message, "cluster of 2") {
+		t.Errorf("message %q does not name the cluster size", d.Message)
+	}
+	if d.Family != "NL5xx" {
+		t.Errorf("family = %q, want NL5xx", d.Family)
+	}
+}
+
+// scoapOutlierNetlist builds one adjacency group of twelve 2-input ANDs
+// where eleven members read cheap PIs and one reads a 30-level XOR chain:
+// the single expensive member deviates by √11 ≈ 3.3σ from its group.
+func scoapOutlierNetlist() *netlist.Netlist {
+	nl := netlist.New("outlier")
+	p, q := nl.MustNet("p"), nl.MustNet("q")
+	nl.MarkPI(p)
+	nl.MarkPI(q)
+	deep := p
+	for i := 0; i < 30; i++ {
+		x := nl.MustNet(fmt.Sprintf("x%02d", i))
+		nl.MustGate(fmt.Sprintf("xg%02d", i), logic.Xor, x, deep, q)
+		deep = x
+	}
+	for i := 0; i < 12; i++ {
+		y := nl.MustNet(fmt.Sprintf("y%02d", i))
+		a := p
+		if i == 7 {
+			a = deep
+		}
+		nl.MustGate(fmt.Sprintf("yg%02d", i), logic.And, y, a, q)
+		nl.MarkPO(y)
+	}
+	return nl
+}
+
+// TestScoapOutlierGate: NL501 flags exactly the expensive member of the
+// adjacency group.
+func TestScoapOutlierGate(t *testing.T) {
+	res := Run(scoapOutlierNetlist(), Config{Only: []string{"NL501"}})
+	diags := res.ByRule("NL501")
+	if len(diags) != 1 {
+		t.Fatalf("NL501 fired %d times, want 1: %+v", len(diags), diags)
+	}
+	if len(diags[0].Gates) != 1 || diags[0].Gates[0] != "yg07" {
+		t.Errorf("flagged gates = %v, want [yg07]", diags[0].Gates)
+	}
+}
+
+// TestAlwaysXDerived: NL502 reports driven nets poisoned through register
+// feedback — nets NL204's structural view cannot see (nothing is undriven).
+func TestAlwaysXDerived(t *testing.T) {
+	nl := netlist.New("xloop")
+	p := nl.MustNet("p")
+	nl.MarkPI(p)
+	x, q := nl.MustNet("x"), nl.MustNet("q")
+	nl.MustGate("g", logic.Xor, x, q, p) // x needs q known
+	nl.MustGate("ff", logic.DFF, q, x)   // q needs x known: never initializable
+	nl.MarkPO(q)
+	res := Run(nl, Config{Only: []string{"NL502"}})
+	diags := res.ByRule("NL502")
+	if len(diags) != 2 {
+		t.Fatalf("NL502 fired %d times, want 2 (x and q): %+v", len(diags), diags)
+	}
+	if nl204 := Run(nl, Config{Only: []string{"NL204"}}).ByRule("NL204"); len(nl204) != 0 {
+		t.Errorf("NL204 fired %d times; the loop must be invisible structurally", len(nl204))
+	}
+}
+
+// TestNL5xxSilentOnClean: the testability rules stay quiet on the clean
+// fixture and on designs too small for the statistical rules.
+func TestNL5xxSilentOnClean(t *testing.T) {
+	res := Run(clean(), Config{Only: []string{"NL5"}})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("NL5xx fired on the clean fixture: %+v", res.Diagnostics)
+	}
+}
+
+// TestFamilyPrefixSelection: Only/Disable accept family prefixes alongside
+// exact IDs and names.
+func TestFamilyPrefixSelection(t *testing.T) {
+	nl := lowTestabilityNetlist()
+	cases := []struct {
+		name string
+		cfg  Config
+		want func(map[string]int) bool
+		desc string
+	}{
+		{
+			name: "only NL5 runs the whole family",
+			cfg:  Config{Only: []string{"NL5"}},
+			want: func(m map[string]int) bool { return m["NL500"] == 1 && m["NL200"] == 0 },
+			desc: "NL500 fires, structural rules do not",
+		},
+		{
+			name: "only NL50 also selects by longer prefix",
+			cfg:  Config{Only: []string{"NL50"}},
+			want: func(m map[string]int) bool { return m["NL500"] == 1 },
+			desc: "NL500 fires",
+		},
+		{
+			name: "disable NL5 silences the family",
+			cfg:  Config{Disable: []string{"NL5"}},
+			want: func(m map[string]int) bool { return m["NL500"] == 0 && m["NL501"] == 0 && m["NL502"] == 0 },
+			desc: "no NL5xx diagnostics",
+		},
+		{
+			name: "only NL4 prefix runs semantic rules without Semantic",
+			cfg:  Config{Only: []string{"NL4"}},
+			want: func(m map[string]int) bool {
+				for id := range m {
+					if !strings.HasPrefix(id, "NL4") {
+						return false
+					}
+				}
+				return true
+			},
+			desc: "only NL4xx diagnostics (if any)",
+		},
+		{
+			name: "exact IDs and names still work",
+			cfg:  Config{Only: []string{"low-testability"}},
+			want: func(m map[string]int) bool { return m["NL500"] == 1 && len(m) == 1 },
+			desc: "exactly NL500",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ruleIDs(Run(nl, tc.cfg))
+			if !tc.want(got) {
+				t.Errorf("%s: got %v, want %s", tc.name, got, tc.desc)
+			}
+		})
+	}
+}
+
+// TestKnownSelector pins the selector vocabulary: IDs, names, family
+// prefixes — and rejects non-matching strings.
+func TestKnownSelector(t *testing.T) {
+	for _, ok := range []string{"NL500", "NL5", "NL50", "NL", "multi-driver", "always-x"} {
+		if !KnownSelector(ok) {
+			t.Errorf("KnownSelector(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"NL9", "NL999", "bogus", "nl5", ""} {
+		if KnownSelector(bad) {
+			t.Errorf("KnownSelector(%q) = true, want false", bad)
+		}
+	}
+}
+
+// TestFamily pins the family derivation.
+func TestFamily(t *testing.T) {
+	cases := map[string]string{"NL001": "NL0xx", "NL100": "NL1xx", "NL500": "NL5xx", "X": "X"}
+	for id, want := range cases {
+		if got := Family(id); got != want {
+			t.Errorf("Family(%q) = %q, want %q", id, got, want)
+		}
+	}
+}

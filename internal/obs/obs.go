@@ -47,13 +47,19 @@ const (
 	StageTrial
 	// StageVerify is cone-equivalence verification of winning reductions.
 	StageVerify
+	// StageScoap is the SCOAP testability fixed point (internal/scoap),
+	// run by netlint NL5xx rules and by triage.
+	StageScoap
+	// StageTriage is suspect scoring and ranking (gatewords.Triage).
+	StageTriage
 
 	NumStages
 )
 
-var stageNames = [NumStages]string{"group", "match", "ctrlsig", "trial", "verify"}
+var stageNames = [NumStages]string{"group", "match", "ctrlsig", "trial", "verify", "scoap", "triage"}
 
-// String names the stage ("group", "match", "ctrlsig", "trial", "verify").
+// String names the stage ("group", "match", "ctrlsig", "trial", "verify",
+// "scoap", "triage").
 func (s Stage) String() string {
 	if s < NumStages {
 		return stageNames[s]
@@ -93,6 +99,13 @@ const (
 	// CtrDegradedSubgroups counts subgroups degraded to the full-structural
 	// match because a resource budget was exceeded (see guard.Budgets).
 	CtrDegradedSubgroups
+	// CtrScoapIterations counts worklist relaxations of the SCOAP fixed point.
+	CtrScoapIterations
+	// CtrScoapWidenedSCCs counts combinational SCCs widened to ∞ because the
+	// SCOAP relaxation budget ran out before convergence.
+	CtrScoapWidenedSCCs
+	// CtrTriageSuspects counts suspects emitted by gatewords.Triage.
+	CtrTriageSuspects
 
 	NumCounters
 )
@@ -101,6 +114,7 @@ var counterNames = [NumCounters]string{
 	"trials", "reductions", "reduce_gate_visits", "eq_checks",
 	"sim_rounds", "sat_decisions", "sat_propagations", "sat_conflicts",
 	"sat_retries", "panics_recovered", "degraded_subgroups",
+	"scoap_iterations", "scoap_widened_sccs", "triage_suspects",
 }
 
 // String names the counter.

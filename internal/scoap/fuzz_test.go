@@ -1,0 +1,48 @@
+package scoap
+
+import (
+	"bytes"
+	"testing"
+
+	"gatewords/internal/verilog"
+)
+
+// FuzzScoap hardens the solver front end: arbitrary input routed through the
+// lenient parser must never panic Compute, must finish (converge or widen —
+// the Compute contract, backstopped by the relaxation budget), and two runs
+// must produce byte-identical score dumps.
+func FuzzScoap(f *testing.F) {
+	seeds := []string{
+		"",
+		"module m; endmodule",
+		"module m (a, y);\n input a;\n output y;\n BUF b (y, a);\nendmodule",
+		"module m (a, b, y);\n input a, b;\n output y;\n and g (y, a, b);\nendmodule",
+		"module m (y);\n output y;\n wire x;\n not g1 (y, x);\n not g2 (x, y);\nendmodule", // comb cycle
+		"module m (s, r, q);\n input s, r;\n output q;\n wire qn;\n nand g1 (q, s, qn);\n nand g2 (qn, r, q);\nendmodule",
+		"module m (a, q);\n input a;\n output q;\n DFF r (.D(a), .Q(q), .CK(a));\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n nand g (y, a);\nendmodule", // bad arity
+		"module m (a);\n input a;\n wire w;\nendmodule",                       // floating + undriven
+		"module m (s, a, b, y);\n input s, a, b;\n output y;\n MUX2 g (y, s, a, b);\nendmodule",
+		"module m (a, y);\n input a;\n output y;\n xor t (y, a, a);\nendmodule",
+		"module m (a); input a; wire w; /* unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := verilog.ParseLenient("fuzz.v", src)
+		if err != nil {
+			return
+		}
+		var run1, run2 bytes.Buffer
+		if err := Compute(nl, Config{}).WriteText(&run1, nl); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := Compute(nl, Config{}).WriteText(&run2, nl); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if !bytes.Equal(run1.Bytes(), run2.Bytes()) {
+			t.Fatalf("nondeterministic scores for %q:\n%s\n----\n%s", src, run1.String(), run2.String())
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package scoap
+
+import (
+	"bytes"
+	"testing"
+
+	"gatewords/internal/logic"
+	"gatewords/internal/netlist"
+)
+
+// buildAnd returns a, b (PIs), y = AND(a, b) with y a PO.
+func buildAnd(t *testing.T) (*netlist.Netlist, netlist.NetID, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	nl := netlist.New("and2")
+	a, b, y := nl.MustNet("a"), nl.MustNet("b"), nl.MustNet("y")
+	nl.MarkPI(a)
+	nl.MarkPI(b)
+	nl.MarkPO(y)
+	nl.MustGate("g", logic.And, y, a, b)
+	return nl, a, b, y
+}
+
+// TestHandComputedScores pins the textbook SCOAP values on a 2-input AND.
+func TestHandComputedScores(t *testing.T) {
+	nl, a, b, y := buildAnd(t)
+	r := Compute(nl, Config{})
+	if got := r.Controllability(a); got != (Pair{C0: 1, C1: 1}) {
+		t.Errorf("CC(a) = %+v, want {1 1}", got)
+	}
+	// CC0(y) = min(CC0 a, CC0 b) + 1 = 2; CC1(y) = CC1 a + CC1 b + 1 = 3.
+	if got := r.Controllability(y); got != (Pair{C0: 2, C1: 3}) {
+		t.Errorf("CC(y) = %+v, want {2 3}", got)
+	}
+	// CO(y) = 0 at the PO; CO(a) = CO(y) + CC1(b) + 1 = 2.
+	if r.Observability(y) != 0 || r.Observability(a) != 2 || r.Observability(b) != 2 {
+		t.Errorf("CO = y:%v a:%v b:%v, want 0/2/2",
+			r.Observability(y), r.Observability(a), r.Observability(b))
+	}
+	if !r.HasPO || r.WidenedSCCs != 0 {
+		t.Errorf("HasPO=%v WidenedSCCs=%d", r.HasPO, r.WidenedSCCs)
+	}
+}
+
+// TestInverterChain pins the per-level charge and polarity swap.
+func TestInverterChain(t *testing.T) {
+	nl := netlist.New("chain")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	x := nl.MustNet("x")
+	y := nl.MustNet("y")
+	nl.MustGate("n1", logic.Not, x, a)
+	nl.MustGate("n2", logic.Not, y, x)
+	nl.MarkPO(y)
+	r := Compute(nl, Config{})
+	if got := r.Controllability(x); got != (Pair{C0: 2, C1: 2}) {
+		t.Errorf("CC(x) = %+v", got)
+	}
+	if got := r.Controllability(y); got != (Pair{C0: 3, C1: 3}) {
+		t.Errorf("CC(y) = %+v", got)
+	}
+	// CO(a) = two inverter levels above the PO.
+	if got := r.Observability(a); got != 2 {
+		t.Errorf("CO(a) = %v, want 2", got)
+	}
+}
+
+// TestSequentialCost pins the DFF boundary charge in both directions and its
+// configurability.
+func TestSequentialCost(t *testing.T) {
+	build := func() (*netlist.Netlist, netlist.NetID, netlist.NetID) {
+		nl := netlist.New("seq")
+		d := nl.MustNet("d")
+		nl.MarkPI(d)
+		q := nl.MustNet("q")
+		nl.MustGate("r", logic.DFF, q, d)
+		nl.MarkPO(q)
+		return nl, d, q
+	}
+	nl, d, q := build()
+	r := Compute(nl, Config{})
+	if got := r.Controllability(q); got != (Pair{C0: 2, C1: 2}) {
+		t.Errorf("default SeqCost: CC(q) = %+v, want {2 2}", got)
+	}
+	if got := r.Observability(d); got != 1 {
+		t.Errorf("default SeqCost: CO(d) = %v, want 1", got)
+	}
+	nl, d, q = build()
+	r = Compute(nl, Config{SeqCost: 5})
+	if got := r.Controllability(q); got != (Pair{C0: 6, C1: 6}) {
+		t.Errorf("SeqCost 5: CC(q) = %+v, want {6 6}", got)
+	}
+	if got := r.Observability(d); got != 5 {
+		t.Errorf("SeqCost 5: CO(d) = %v, want 5", got)
+	}
+}
+
+// TestSequentialFeedback pins the fixed point through a register loop: a
+// mux-loaded register is controllable through its load path, and the
+// feedback arm settles on the positive-cycle fixed point instead of
+// diverging or oscillating.
+func TestSequentialFeedback(t *testing.T) {
+	nl := netlist.New("fb")
+	load := nl.MustNet("load")
+	data := nl.MustNet("data")
+	nl.MarkPI(load)
+	nl.MarkPI(data)
+	q := nl.MustNet("q")
+	d := nl.MustNet("d")
+	// d = load ? data : q   (Mux2 inputs are [sel, a, b]: sel=load, a=q, b=data)
+	nl.MustGate("m", logic.Mux2, d, load, q, data)
+	nl.MustGate("r", logic.DFF, q, d)
+	nl.MarkPO(q)
+	r := Compute(nl, Config{})
+	// Cheapest CC1(d): load=1, data=1 → 1+1+1 = 3; then CC1(q) = 4. The
+	// feedback arm (load=0, q) costs 1+4+1 = 6 and must not win or loop.
+	if got := r.Controllability(d); got != (Pair{C0: 3, C1: 3}) {
+		t.Errorf("CC(d) = %+v, want {3 3}", got)
+	}
+	if got := r.Controllability(q); got != (Pair{C0: 4, C1: 4}) {
+		t.Errorf("CC(q) = %+v, want {4 4}", got)
+	}
+	if r.WidenedSCCs != 0 {
+		t.Errorf("WidenedSCCs = %d on a sequential loop", r.WidenedSCCs)
+	}
+}
+
+// TestXSourcePoisoning: an undriven non-PI input makes dependent scores Inf
+// while controlling paths stay finite.
+func TestXSourcePoisoning(t *testing.T) {
+	nl := netlist.New("x")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	u := nl.MustNet("u") // undriven, not a PI: an X source
+	y := nl.MustNet("y")
+	nl.MustGate("g", logic.And, y, a, u)
+	nl.MarkPO(y)
+	r := Compute(nl, Config{})
+	if !r.AlwaysX(u) {
+		t.Error("X source not AlwaysX")
+	}
+	// y can still be forced to 0 through a, but never to 1.
+	if got := r.Controllability(y); got != (Pair{C0: 2, C1: Inf}) {
+		t.Errorf("CC(y) = %+v, want {2 Inf}", got)
+	}
+	// a is unobservable: sensitizing it needs u = 1.
+	if got := r.Observability(a); got != Inf {
+		t.Errorf("CO(a) = %v, want Inf", got)
+	}
+}
+
+// buildLatch returns a lenient cross-coupled NAND pair (a combinational
+// cycle) hanging off two PIs.
+func buildLatch(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("latch")
+	s, rr := nl.MustNet("s"), nl.MustNet("r")
+	nl.MarkPI(s)
+	nl.MarkPI(rr)
+	q, qn := nl.MustNet("q"), nl.MustNet("qn")
+	nl.AddGateLenient("g1", logic.Nand, q, s, qn)
+	nl.AddGateLenient("g2", logic.Nand, qn, rr, q)
+	nl.MarkPO(q)
+	return nl
+}
+
+// TestCombinationalCycleConverges: the SR-latch cycle has a finite positive-
+// weight fixed point, reached without widening, deterministically.
+func TestCombinationalCycleConverges(t *testing.T) {
+	nl := buildLatch(t)
+	r1 := Compute(nl, Config{})
+	if r1.WidenedSCCs != 0 {
+		t.Fatalf("WidenedSCCs = %d, want 0", r1.WidenedSCCs)
+	}
+	q, _ := nl.NetByName("q")
+	// CC1(q): s=0 controls NAND g1 to 1 → 2. CC0(q): s=1 and qn=1 (via r=0,
+	// cost 2) → 1+2+1 = 4.
+	if got := r1.Controllability(q); got != (Pair{C0: 4, C1: 2}) {
+		t.Errorf("CC(q) = %+v, want {4 2}", got)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteText(&b1, nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compute(nl, Config{}).WriteText(&b2, nl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("two runs differ:\n%s----\n%s", b1.String(), b2.String())
+	}
+}
+
+// TestWidening: an exhausted relaxation budget widens the cycle's nets to
+// Inf — deterministically — instead of spinning.
+func TestWidening(t *testing.T) {
+	nl := buildLatch(t)
+	r1 := Compute(nl, Config{EvalBudget: 1})
+	if r1.WidenedSCCs == 0 {
+		t.Fatal("expected widening under a 1-relaxation budget")
+	}
+	q, _ := nl.NetByName("q")
+	qn, _ := nl.NetByName("qn")
+	if !r1.AlwaysX(q) || !r1.AlwaysX(qn) {
+		t.Errorf("widened cycle nets not Inf: q=%+v qn=%+v",
+			r1.Controllability(q), r1.Controllability(qn))
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteText(&b1, nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compute(nl, Config{EvalBudget: 1}).WriteText(&b2, nl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("widened runs are not byte-identical")
+	}
+	// PIs outside the cycle keep their seeds.
+	s, _ := nl.NetByName("s")
+	if got := r1.Controllability(s); got != (Pair{C0: 1, C1: 1}) {
+		t.Errorf("CC(s) = %+v after widening, want {1 1}", got)
+	}
+}
+
+// TestNoPO: without primary outputs observability is skipped and every CO
+// stays Inf.
+func TestNoPO(t *testing.T) {
+	nl := netlist.New("nopo")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.MustGate("g", logic.Not, y, a)
+	r := Compute(nl, Config{})
+	if r.HasPO {
+		t.Error("HasPO on a PO-less design")
+	}
+	if r.Observability(a) != Inf || r.Observability(y) != Inf {
+		t.Error("CO must stay Inf without POs")
+	}
+}
+
+// TestTestability pins the combined scalar's saturation.
+func TestTestability(t *testing.T) {
+	nl, a, _, y := buildAnd(t)
+	r := Compute(nl, Config{})
+	if got := r.Testability(y); got != 5 { // 2 + 3 + 0
+		t.Errorf("Testability(y) = %v, want 5", got)
+	}
+	if got := r.Testability(a); got != 4 { // 1 + 1 + 2
+		t.Errorf("Testability(a) = %v, want 4", got)
+	}
+	nl2 := netlist.New("sat")
+	u := nl2.MustNet("u")
+	p := nl2.MustNet("p")
+	nl2.MarkPI(p)
+	z := nl2.MustNet("z")
+	nl2.MustGate("g", logic.And, z, p, u)
+	r2 := Compute(nl2, Config{})
+	if got := r2.Testability(z); got != Inf {
+		t.Errorf("Testability(z) = %v, want Inf", got)
+	}
+}
+
+// TestMalformedGateScoresInf: lenient arity violations act as X sources.
+func TestMalformedGateScoresInf(t *testing.T) {
+	nl := netlist.New("bad")
+	a := nl.MustNet("a")
+	nl.MarkPI(a)
+	y := nl.MustNet("y")
+	nl.AddGateLenient("g", logic.Not, y, a, a) // NOT with 2 inputs
+	nl.MarkPO(y)
+	r := Compute(nl, Config{})
+	if !r.AlwaysX(y) {
+		t.Errorf("malformed gate output = %+v, want Inf pair", r.Controllability(y))
+	}
+}

@@ -1,0 +1,181 @@
+// Per-gate-kind SCOAP transfer functions. The contract both functions obey
+// (pinned exhaustively by TestTransferSoundness against brute-force
+// enumeration over three-valued partial assignments):
+//
+//   - CtrlTransfer(k, in).Cv = 1 + the minimum, over partial input
+//     assignments σ ∈ {0,1,X}^n with logic.TryEval(k, σ) = v, of the summed
+//     per-input cost of σ's assigned pins (CC0 for a 0, CC1 for a 1, X
+//     free).
+//   - ObsTransfer(k, pin, in, co) = co + 1 + the minimum, over partial
+//     assignments σ to the other pins that make the output a known,
+//     complementary function of pin (σ∪{pin=0} and σ∪{pin=1} evaluate to
+//     distinct known values), of σ's summed cost.
+//
+// Both treat input pins as independent — the standard SCOAP approximation;
+// reconvergent fanout and tied pins make the scores optimistic, never
+// invalid. Malformed arities (possible on leniently parsed netlists) score
+// Inf: a broken gate can be neither controlled nor sensitized.
+package scoap
+
+import "gatewords/internal/logic"
+
+// CtrlTransfer computes the output controllability pair of a k-kind
+// combinational gate from its input pairs (including the +1 level charge).
+func CtrlTransfer(k logic.Kind, in []Pair) Pair {
+	if !k.IsCombinational() || !k.ValidArity(len(in)) {
+		return Pair{C0: Inf, C1: Inf}
+	}
+	var p Pair
+	switch k {
+	case logic.Buf:
+		p = in[0]
+	case logic.Not:
+		p = Pair{C0: in[0].C1, C1: in[0].C0}
+	case logic.And:
+		p = andPair(in)
+	case logic.Nand:
+		p = invert(andPair(in))
+	case logic.Or:
+		p = orPair(in)
+	case logic.Nor:
+		p = invert(orPair(in))
+	case logic.Xor:
+		p = parityPair(in)
+	case logic.Xnor:
+		p = invert(parityPair(in))
+	case logic.Mux2:
+		p = muxPair(in[0], in[1], in[2])
+	case logic.Aoi21:
+		// !((a&b) | c): 1 needs (a&b)=0 and c=0; 0 needs a=b=1 or c=1.
+		p = Pair{
+			C1: add(min2(in[0].C0, in[1].C0), in[2].C0),
+			C0: min2(add(in[0].C1, in[1].C1), in[2].C1),
+		}
+	case logic.Oai21:
+		// !((a|b) & c): 1 needs a=b=0 or c=0; 0 needs (a|b)=1 and c=1.
+		p = Pair{
+			C1: min2(add(in[0].C0, in[1].C0), in[2].C0),
+			C0: add(min2(in[0].C1, in[1].C1), in[2].C1),
+		}
+	default:
+		return Pair{C0: Inf, C1: Inf}
+	}
+	return Pair{C0: add(p.C0, 1), C1: add(p.C1, 1)}
+}
+
+// andPair is the AND-gate body: 0 from the cheapest controlling input, 1
+// from every input at 1.
+func andPair(in []Pair) Pair {
+	p := Pair{C0: Inf, C1: 0}
+	for _, ip := range in {
+		p.C0 = min2(p.C0, ip.C0)
+		p.C1 = add(p.C1, ip.C1)
+	}
+	return p
+}
+
+// orPair is the dual: 1 from the cheapest controlling input, 0 from all at 0.
+func orPair(in []Pair) Pair {
+	p := Pair{C0: 0, C1: Inf}
+	for _, ip := range in {
+		p.C1 = min2(p.C1, ip.C1)
+		p.C0 = add(p.C0, ip.C0)
+	}
+	return p
+}
+
+// parityPair runs the min-plus parity DP: even/odd track the cheapest full
+// assignment of the inputs seen so far with even/odd count of ones (XOR
+// needs every input known).
+func parityPair(in []Pair) Pair {
+	even, odd := Cost(0), Inf
+	for _, ip := range in {
+		even, odd = min2(add(even, ip.C0), add(odd, ip.C1)),
+			min2(add(odd, ip.C0), add(even, ip.C1))
+	}
+	return Pair{C0: even, C1: odd}
+}
+
+// muxPair scores out = sel ? b : a. The third term is the X-optimism path:
+// both data pins at v determine the output with the select unknown.
+func muxPair(sel, a, b Pair) Pair {
+	return Pair{
+		C0: min2(min2(add(sel.C0, a.C0), add(sel.C1, b.C0)), add(a.C0, b.C0)),
+		C1: min2(min2(add(sel.C0, a.C1), add(sel.C1, b.C1)), add(a.C1, b.C1)),
+	}
+}
+
+func invert(p Pair) Pair { return Pair{C0: p.C1, C1: p.C0} }
+
+// ObsTransfer computes the observability of input pin `pin` of a k-kind
+// combinational gate: the output's observability plus the cheapest
+// sensitization of the remaining pins plus the level charge.
+func ObsTransfer(k logic.Kind, pin int, in []Pair, coOut Cost) Cost {
+	if !k.IsCombinational() || !k.ValidArity(len(in)) || pin < 0 || pin >= len(in) {
+		return Inf
+	}
+	var sens Cost
+	switch k {
+	case logic.Buf, logic.Not:
+		sens = 0
+	case logic.And, logic.Nand:
+		// Every side pin at its non-controlling 1.
+		sens = 0
+		for i, ip := range in {
+			if i != pin {
+				sens = add(sens, ip.C1)
+			}
+		}
+	case logic.Or, logic.Nor:
+		sens = 0
+		for i, ip := range in {
+			if i != pin {
+				sens = add(sens, ip.C0)
+			}
+		}
+	case logic.Xor, logic.Xnor:
+		// Parity passes any known side values: each side pin at its cheaper
+		// polarity.
+		sens = 0
+		for i, ip := range in {
+			if i != pin {
+				sens = add(sens, min2(ip.C0, ip.C1))
+			}
+		}
+	case logic.Mux2:
+		sel, a, b := in[0], in[1], in[2]
+		switch pin {
+		case 0: // select observable only when the data pins differ
+			sens = min2(add(a.C0, b.C1), add(a.C1, b.C0))
+		case 1:
+			sens = sel.C0
+		default:
+			sens = sel.C1
+		}
+	case logic.Aoi21:
+		// !((a&b) | c): a needs b=1 c=0 (b symmetric); c needs (a&b)=0.
+		a, b, c := in[0], in[1], in[2]
+		switch pin {
+		case 0:
+			sens = add(b.C1, c.C0)
+		case 1:
+			sens = add(a.C1, c.C0)
+		default:
+			sens = min2(a.C0, b.C0)
+		}
+	case logic.Oai21:
+		// !((a|b) & c): a needs b=0 c=1 (b symmetric); c needs (a|b)=1.
+		a, b, c := in[0], in[1], in[2]
+		switch pin {
+		case 0:
+			sens = add(b.C0, c.C1)
+		case 1:
+			sens = add(a.C0, c.C1)
+		default:
+			sens = min2(a.C1, b.C1)
+		}
+	default:
+		return Inf
+	}
+	return add(add(coOut, sens), 1)
+}

@@ -1,0 +1,196 @@
+package scoap
+
+import (
+	"testing"
+
+	"gatewords/internal/logic"
+)
+
+// brutePair is the reference controllability: minimum-cost partial
+// assignment enumeration over {X,0,1}^n with three-valued evaluation. A
+// partial assignment justifies output v when logic.TryEval already returns v
+// with the unassigned pins at X; its cost charges only the assigned pins.
+func brutePair(k logic.Kind, in []Pair) Pair {
+	vals := make([]logic.Value, len(in))
+	best := Pair{C0: Inf, C1: Inf}
+	var rec func(i int, cost Cost)
+	rec = func(i int, cost Cost) {
+		if i == len(in) {
+			out, err := logic.TryEval(k, vals)
+			if err != nil {
+				return
+			}
+			switch out {
+			case logic.Zero:
+				best.C0 = min2(best.C0, cost)
+			case logic.One:
+				best.C1 = min2(best.C1, cost)
+			}
+			return
+		}
+		vals[i] = logic.X
+		rec(i+1, cost)
+		vals[i] = logic.Zero
+		rec(i+1, add(cost, in[i].C0))
+		vals[i] = logic.One
+		rec(i+1, add(cost, in[i].C1))
+	}
+	rec(0, 0)
+	return Pair{C0: add(best.C0, 1), C1: add(best.C1, 1)}
+}
+
+// bruteObs is the reference observability of one pin: the cheapest partial
+// assignment of the other pins under which flipping the pin flips the output
+// between two known values.
+func bruteObs(k logic.Kind, pin int, in []Pair, coOut Cost) Cost {
+	vals := make([]logic.Value, len(in))
+	best := Inf
+	var rec func(i int, cost Cost)
+	rec = func(i int, cost Cost) {
+		if i == len(in) {
+			vals[pin] = logic.Zero
+			o0, err := logic.TryEval(k, vals)
+			if err != nil {
+				return
+			}
+			vals[pin] = logic.One
+			o1, _ := logic.TryEval(k, vals)
+			vals[pin] = logic.X
+			if o0.Known() && o1.Known() && o0 != o1 {
+				best = min2(best, cost)
+			}
+			return
+		}
+		if i == pin {
+			vals[i] = logic.X
+			rec(i+1, cost)
+			return
+		}
+		vals[i] = logic.X
+		rec(i+1, cost)
+		vals[i] = logic.Zero
+		rec(i+1, add(cost, in[i].C0))
+		vals[i] = logic.One
+		rec(i+1, add(cost, in[i].C1))
+	}
+	rec(0, 0)
+	return add(add(coOut, best), 1)
+}
+
+// pairSlate covers the interesting cost shapes: symmetric, skewed, zero,
+// one-sided-infinite, fully infinite, and near-saturation.
+var pairSlate = []Pair{
+	{C0: 1, C1: 1},
+	{C0: 2, C1: 1},
+	{C0: 1, C1: 3},
+	{C0: 4, C1: 2},
+	{C0: 0, C1: 5},
+	{C0: Inf, C1: 2},
+	{C0: 3, C1: Inf},
+	{C0: Inf - 1, C1: 1},
+}
+
+// arities returns the input counts to test for a kind: the fixed arity, or
+// 2..4 for the variadic gates (the "every gate kind ≤4 inputs" contract).
+func arities(k logic.Kind) []int {
+	if n, ok := k.FixedArity(); ok {
+		return []int{n}
+	}
+	return []int{2, 3, 4}
+}
+
+// forEachCombo enumerates every assignment of pairSlate entries to n pins.
+func forEachCombo(n int, fn func(in []Pair)) {
+	in := make([]Pair, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			fn(in)
+			return
+		}
+		for _, p := range pairSlate {
+			in[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestTransferSoundness pins every closed-form transfer function against the
+// brute-force minimum-assignment enumeration, for every combinational kind,
+// every arity up to 4, and the full cross product of slate cost pairs —
+// controllability on every combination, observability on every pin with
+// three downstream observabilities.
+func TestTransferSoundness(t *testing.T) {
+	coSlate := []Cost{0, 5, Inf}
+	for _, k := range logic.CombinationalKinds() {
+		for _, n := range arities(k) {
+			mismatches := 0
+			forEachCombo(n, func(in []Pair) {
+				if mismatches > 5 {
+					return
+				}
+				got, want := CtrlTransfer(k, in), brutePair(k, in)
+				if got != want {
+					t.Errorf("%s/%d ctrl %v: got %+v want %+v", k, n, in, got, want)
+					mismatches++
+				}
+				for pin := 0; pin < n; pin++ {
+					for _, co := range coSlate {
+						gotO, wantO := ObsTransfer(k, pin, in, co), bruteObs(k, pin, in, co)
+						if gotO != wantO {
+							t.Errorf("%s/%d obs pin %d co %v %v: got %v want %v",
+								k, n, pin, co, in, gotO, wantO)
+							mismatches++
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTransferMalformed pins the lenient-netlist contract: invalid arities
+// and non-combinational kinds score Inf on both functions instead of
+// panicking.
+func TestTransferMalformed(t *testing.T) {
+	bad := []struct {
+		k  logic.Kind
+		in []Pair
+	}{
+		{logic.Not, []Pair{{C0: 1, C1: 1}, {C0: 1, C1: 1}}},
+		{logic.And, []Pair{{C0: 1, C1: 1}}},
+		{logic.Mux2, []Pair{{C0: 1, C1: 1}}},
+		{logic.DFF, []Pair{{C0: 1, C1: 1}}},
+		{logic.Invalid, []Pair{{C0: 1, C1: 1}, {C0: 1, C1: 1}}},
+	}
+	for _, tc := range bad {
+		if got := CtrlTransfer(tc.k, tc.in); got != (Pair{C0: Inf, C1: Inf}) {
+			t.Errorf("CtrlTransfer(%s, %d inputs) = %+v, want Inf pair", tc.k, len(tc.in), got)
+		}
+		if got := ObsTransfer(tc.k, 0, tc.in, 0); got != Inf {
+			t.Errorf("ObsTransfer(%s, %d inputs) = %v, want Inf", tc.k, len(tc.in), got)
+		}
+	}
+	if got := ObsTransfer(logic.And, 2, []Pair{{C0: 1, C1: 1}, {C0: 1, C1: 1}}, 0); got != Inf {
+		t.Errorf("ObsTransfer out-of-range pin = %v, want Inf", got)
+	}
+}
+
+// TestSaturatingAdd pins the arithmetic backstop.
+func TestSaturatingAdd(t *testing.T) {
+	cases := []struct{ a, b, want Cost }{
+		{1, 2, 3},
+		{Inf, 0, Inf},
+		{0, Inf, Inf},
+		{Inf, Inf, Inf},
+		{Inf - 1, 1, Inf},
+		{Inf - 1, 2, Inf},
+		{Inf / 2, Inf / 2, Inf - 1},
+	}
+	for _, c := range cases {
+		if got := add(c.a, c.b); got != c.want {
+			t.Errorf("add(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -46,9 +46,10 @@ const (
 // LintDiagnostic is one static-analysis finding.
 type LintDiagnostic struct {
 	// Rule is the stable rule ID ("NL003"); Name its short handle
-	// ("multi-driver").
-	Rule string
-	Name string
+	// ("multi-driver"); Family the rule family prefix ("NL0xx").
+	Rule   string
+	Name   string
+	Family string
 	// Severity is "error", "warn" or "info".
 	Severity string
 	// Message is self-contained; Gates and Nets carry the involved element
@@ -102,17 +103,12 @@ type LintConfig struct {
 }
 
 // Validate reports the entries of Only and Disable that match no registered
-// rule ID or name — almost always a typo the caller should surface instead
-// of silently linting with a different rule set.
+// rule ID, name, or family prefix — almost always a typo the caller should
+// surface instead of silently linting with a different rule set.
 func (c LintConfig) Validate() error {
-	known := make(map[string]bool)
-	for _, r := range netlint.Rules() {
-		known[r.ID] = true
-		known[r.Name] = true
-	}
 	var bad []string
 	for _, s := range append(append([]string(nil), c.Only...), c.Disable...) {
-		if !known[s] {
+		if !netlint.KnownSelector(s) {
 			bad = append(bad, s)
 		}
 	}
@@ -123,7 +119,7 @@ func (c LintConfig) Validate() error {
 	for _, r := range netlint.Rules() {
 		ids = append(ids, r.ID)
 	}
-	return fmt.Errorf("gatewords: unknown lint rule(s) %q; valid IDs: %v (see -rules for names)", bad, ids)
+	return fmt.Errorf("gatewords: unknown lint rule(s) %q; valid IDs: %v, or a family prefix like \"NL5\" (see -rules for names)", bad, ids)
 }
 
 // Lint runs the full static-analysis rule set over the design and returns
@@ -150,6 +146,7 @@ func LintWith(d *Design, cfg LintConfig) *LintReport {
 		rep.Diagnostics = append(rep.Diagnostics, LintDiagnostic{
 			Rule:     diag.Rule,
 			Name:     diag.Name,
+			Family:   diag.Family,
 			Severity: diag.Severity,
 			Message:  diag.Message,
 			Gates:    diag.Gates,
