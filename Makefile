@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-pipeline bench-pipeline-smoke bench-scoap bench-scoap-smoke race
+.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-eqcheck-smoke bench-pipeline bench-pipeline-smoke bench-scoap bench-scoap-smoke race
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ vet-fix:
 # check is the full pre-commit gate: vet, formatting, the contract
 # analyzers, the race-detector test pass (which subsumes the plain test
 # pass — every test runs exactly once, instrumented), the fault-injection
-# matrix, the daemon smoke, and the bench-scoap emitter smoke. gatevet runs
+# matrix, the daemon smoke, and the bench emitter smokes. gatevet runs
 # before the test passes: contract findings are cheaper to surface than a
 # full race run.
 check:
@@ -44,6 +44,7 @@ check:
 	$(MAKE) faults
 	$(MAKE) serve-smoke
 	$(MAKE) bench-scoap-smoke
+	$(MAKE) bench-eqcheck-smoke
 
 # faults runs the fault-injection matrix under the race detector: the guard
 # package's own tests, every stage-level injection point (TestFaultMatrix
@@ -70,6 +71,13 @@ bench:
 # counts, stage resolution split, solver stats, wall time).
 bench-eqcheck:
 	BENCH_EQCHECK_OUT=$(CURDIR)/BENCH_eqcheck.json $(GO) test -run TestEmitEqcheckBench -v .
+
+# bench-eqcheck-smoke exercises the same harness on one small analog and a
+# throwaway output file — the CI guard that the emitter (identify, miter
+# resynthesis, CDCL-vs-DPLL sweep) keeps working without paying for the
+# b14/b15 rows.
+bench-eqcheck-smoke:
+	BENCH_EQCHECK_OUT=$$(mktemp) BENCH_EQCHECK_BENCHES=b08 $(GO) test -run TestEmitEqcheckBench -v .
 
 # bench-pipeline regenerates the committed per-stage performance baseline
 # BENCH_pipeline.json: core.Identify over every Table-1 analog with an

@@ -3,70 +3,271 @@ package gatewords
 import (
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 	"time"
+
+	"gatewords/internal/aig"
+	"gatewords/internal/bench"
+	"gatewords/internal/core"
+	"gatewords/internal/eqcheck"
+	"gatewords/internal/logic"
+	"gatewords/internal/synth"
 )
+
+// benchSplitmix64 is a local copy of the deterministic pattern generator, so
+// the sweep's control assignments are reproducible without math/rand.
+type benchSplitmix64 struct{ s uint64 }
+
+func (r *benchSplitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+type eqcheckBenchRow struct {
+	Bench        string  `json:"bench"`
+	Words        int     `json:"words"`
+	ConesProved  int     `json:"cones_proved"`
+	ConesRefuted int     `json:"cones_refuted"`
+	ConesUnknown int     `json:"cones_unknown"`
+	VerifyTotal  int     `json:"verify_total"`
+	IdentifyMS   float64 `json:"identify_ms"`
+	// The SAT-engine sweep: every output mitered against its resynthesized
+	// form, each miter proved under SweepQuery/SweepCones distinct control
+	// assignments as assumption solves on a per-cone warm solver.
+	SweepCones  int     `json:"sweep_cones"`
+	SweepQuery  int     `json:"sweep_queries"`
+	SweepMS     float64 `json:"sweep_ms"`
+	DpllSweepMS float64 `json:"dpll_sweep_ms"`
+	// ConesPerSec is warm-CDCL sweep throughput (queries per second);
+	// DpllConesPerSec runs the identical queries through the legacy engine,
+	// which re-encodes per query. Speedup is their ratio.
+	ConesPerSec     float64 `json:"cones_per_sec"`
+	DpllConesPerSec float64 `json:"dpll_cones_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	LearnedClauses  int     `json:"learned_clauses"`
+	Restarts        int     `json:"restarts"`
+	AssumpSolves    int     `json:"assumption_solves"`
+	ModelsRejected  int     `json:"models_rejected"`
+}
+
+type eqcheckBenchReport struct {
+	Note    string            `json:"note"`
+	Benches []eqcheckBenchRow `json:"benches"`
+}
+
+// eqcheckBenchNames returns the bench subset: BENCH_EQCHECK_BENCHES as a
+// comma-separated list, or the committed default set.
+func eqcheckBenchNames() []string {
+	if env := os.Getenv("BENCH_EQCHECK_BENCHES"); env != "" {
+		var names []string
+		for _, n := range strings.Split(env, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	return []string{"b08", "b13", "b14", "b14a", "b15"}
+}
+
+// benchMiters miters the generated netlist against a second synthesis of the
+// same word-level RTL with a different recipe (NAND-mapped muxes, fanin cap
+// 2 instead of 3): the two mappings compute identical observables through
+// different gate structure — re-associated reduction trees in particular —
+// so the miters genuinely reach the SAT stage instead of folding away under
+// structural hashing. Outputs are matched by name into one shared AIG, and
+// miters whose support exceeds maxSupport are dropped so the no-learning
+// DPLL baseline can still decide every query. Returns at most limit
+// deduplicated miter literals.
+func benchMiters(t *testing.T, gen *bench.Generated, g *aig.AIG, limit, maxSupport int) []aig.Lit {
+	t.Helper()
+	alt, err := gen.Resynthesize(synth.Options{MuxStyle: synth.MuxNand, MaxFanin: 2})
+	if err != nil {
+		t.Fatalf("%s: resynthesize: %v", gen.Profile.Name, err)
+	}
+	eff := map[string]logic.Value{"$const0": logic.Zero, "$const1": logic.One}
+	fa, err := aig.AddFrame(g, gen.NL, eff)
+	if err != nil {
+		t.Fatalf("%s: lowering base: %v", gen.Profile.Name, err)
+	}
+	fb, err := aig.AddFrame(g, alt, eff)
+	if err != nil {
+		t.Fatalf("%s: lowering variant: %v", gen.Profile.Name, err)
+	}
+	seen := make(map[aig.Lit]bool)
+	var miters []aig.Lit
+	for _, name := range fa.OutputNames {
+		lb, ok := fb.Outputs[name]
+		if !ok {
+			continue
+		}
+		m := g.Xor(fa.Outputs[name], lb)
+		if m == aig.False || seen[m] {
+			continue
+		}
+		if len(g.Support(m)) > maxSupport {
+			continue
+		}
+		seen[m] = true
+		miters = append(miters, m)
+		if len(miters) >= limit {
+			break
+		}
+	}
+	return miters
+}
+
+// sweepFreeInputs is how many support inputs each sweep query leaves
+// unconstrained: 2^16 residual assignments fit comfortably inside the DPLL
+// baseline's first conflict budget yet force real search on every query.
+const sweepFreeInputs = 16
+
+// benchAssumps returns the k-th deterministic control assignment for miter
+// mi: all but sweepFreeInputs of the miter's support inputs pinned to
+// pseudo-random values. Pinning inputs of an UNSAT miter keeps it UNSAT, so
+// every sweep query has a known answer — and the fixed residual search space
+// keeps every query decidable for the no-learn DPLL baseline within its
+// retry ladder while still demanding real search per query.
+func benchAssumps(g *aig.AIG, m aig.Lit, mi, k int) []aig.Lit {
+	support := g.Support(m)
+	n := len(support) - sweepFreeInputs
+	if n < 0 {
+		n = 0
+	}
+	rng := benchSplitmix64{s: 0xb14_dac15<<32 ^ uint64(mi)<<16 ^ uint64(k)}
+	assumps := make([]aig.Lit, 0, n)
+	for j := 0; j < n; j++ {
+		l := g.InputLit(support[j])
+		if rng.next()&1 == 0 {
+			l = l.Not()
+		}
+		assumps = append(assumps, l)
+	}
+	return assumps
+}
+
+// runSweep proves every miter under queriesPerCone distinct control
+// assignments, one warm solver per cone, asserting every verdict Unsat: the
+// incremental engine encodes the cone once and answers the rest as cheap
+// assumption solves, while the no-learn baseline re-encodes and re-searches
+// every query. It returns the wall time and the summed solver stats.
+func runSweep(t *testing.T, bench string, g *aig.AIG, miters []aig.Lit, opt eqcheck.Options, queriesPerCone int) (time.Duration, eqcheck.Stats) {
+	t.Helper()
+	// Assumption vectors are precomputed so the timed region measures the
+	// engines, not the support walks that build the query set.
+	assumps := make([][][]aig.Lit, len(miters))
+	for mi, m := range miters {
+		assumps[mi] = make([][]aig.Lit, queriesPerCone)
+		for k := 0; k < queriesPerCone; k++ {
+			assumps[mi][k] = benchAssumps(g, m, mi, k)
+		}
+	}
+	var sum eqcheck.Stats
+	start := time.Now()
+	for mi, m := range miters {
+		solver := eqcheck.NewSolver(g, opt)
+		for k := 0; k < queriesPerCone; k++ {
+			r := solver.SolveUnder(m, assumps[mi][k])
+			if r.Status != eqcheck.Unsat {
+				t.Fatalf("%s: miter %d query %d = %v, want unsat (reduction unsound or budget too small)",
+					bench, mi, k, r.Status)
+			}
+			sum.Conflicts += r.Stats.Conflicts
+			sum.LearnedClauses += r.Stats.LearnedClauses
+			sum.Restarts += r.Stats.Restarts
+			sum.AssumptionSolves += r.Stats.AssumptionSolves
+			sum.ModelsRejected += r.Stats.ModelsRejected
+		}
+	}
+	return time.Since(start), sum
+}
 
 // TestEmitEqcheckBench is the bench-eqcheck harness (see `make
 // bench-eqcheck`): it runs the identification pipeline with reduction
-// verification on a slice of the benchmark suite and writes per-bench
-// equivalence-checker throughput to the JSON file named by
-// BENCH_EQCHECK_OUT. Without that variable it is skipped, so the regular
-// test run stays fast.
+// verification on a slice of the benchmark suite, then benchmarks the SAT
+// engine head to head — the incremental CDCL solver re-proving each dirty
+// cone under a sweep of control assignments as warm assumption solves,
+// against the legacy DPLL engine re-encoding every query from scratch — and
+// writes the per-bench figures to the JSON file named by BENCH_EQCHECK_OUT.
+// Without that variable it is skipped, so the regular test run stays fast.
+// BENCH_EQCHECK_BENCHES selects a comma-separated bench subset.
 func TestEmitEqcheckBench(t *testing.T) {
 	out := os.Getenv("BENCH_EQCHECK_OUT")
 	if out == "" {
 		t.Skip("set BENCH_EQCHECK_OUT to emit BENCH_eqcheck.json")
 	}
-	type row struct {
-		Bench        string  `json:"bench"`
-		Words        int     `json:"words"`
-		ConesProved  int     `json:"cones_proved"`
-		ConesRefuted int     `json:"cones_refuted"`
-		ConesUnknown int     `json:"cones_unknown"`
-		VerifyTotal  int     `json:"verify_total"`
-		IdentifyMS   float64 `json:"identify_ms"`
-		ConesPerSec  float64 `json:"cones_per_sec"`
+	const (
+		miterCap       = 256
+		maxSupport     = 24 // drop the handful of very wide cones
+		queriesPerCone = 17 // 17 control assignments proved per cone
+	)
+	report := eqcheckBenchReport{
+		Note: "Identify with Options.VerifyReduction (strash -> 64-lane sim -> incremental CDCL), then a SAT-engine sweep: each bench mitered output-by-output against a resynthesis of its RTL (NAND muxes, fanin cap 2), every miter proved under 17 control assignments — warm CDCL assumption solves (cones_per_sec) vs the legacy no-learn DPLL re-encoding per query (dpll_cones_per_sec)",
 	}
-	report := struct {
-		Note    string `json:"note"`
-		Benches []row  `json:"benches"`
-	}{
-		Note: "Identify with Options.VerifyReduction: every emitted word's rewritten bit cones proved against the original under the control assignment (strash -> 64-lane sim -> DPLL SAT)",
-	}
-	for _, name := range []string{"b08", "b13", "b14", "b14a"} {
-		d, err := GenerateBenchmark(name)
+	for _, name := range eqcheckBenchNames() {
+		prof, ok := bench.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		gen, err := prof.Generate()
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		start := time.Now()
-		rep, err := Identify(d, Options{VerifyReduction: true})
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+		res := core.Identify(gen.NL, core.Options{VerifyReduction: true})
+		identify := time.Since(start)
+		if res.Stats.ConesRefuted != 0 {
+			t.Fatalf("%s: %d cones refuted — reduction unsound", name, res.Stats.ConesRefuted)
 		}
-		elapsed := time.Since(start)
-		rv := rep.ReductionVerification
-		if rv == nil {
-			t.Fatalf("%s: no verification report", name)
+		if res.Stats.ConesUnknown != 0 {
+			t.Fatalf("%s: %d cones unknown — engine lost proofs the baseline had", name, res.Stats.ConesUnknown)
 		}
-		if rv.ConesRefuted != 0 {
-			t.Fatalf("%s: %d cones refuted — reduction unsound", name, rv.ConesRefuted)
+
+		g := aig.New()
+		miters := benchMiters(t, gen, g, miterCap, maxSupport)
+
+		// SimRounds -1 measures the SAT engines themselves: no simulation
+		// short-circuit on either side. The queries are identical in both
+		// sweeps; only the engine differs.
+		warmOpt := eqcheck.Options{SimRounds: -1, RetryUnknown: 2}
+		sweepDur, sweepStats := runSweep(t, name, g, miters, warmOpt, queriesPerCone)
+		dpllOpt := eqcheck.Options{SimRounds: -1, RetryUnknown: 2, NoLearn: true}
+		dpllDur, _ := runSweep(t, name, g, miters, dpllOpt, queriesPerCone)
+
+		queries := len(miters) * queriesPerCone
+		r := eqcheckBenchRow{
+			Bench:          name,
+			Words:          len(res.Words),
+			ConesProved:    res.Stats.ConesProved,
+			ConesRefuted:   res.Stats.ConesRefuted,
+			ConesUnknown:   res.Stats.ConesUnknown,
+			VerifyTotal:    res.Stats.ConesProved + res.Stats.ConesRefuted + res.Stats.ConesUnknown,
+			IdentifyMS:     float64(identify.Microseconds()) / 1000,
+			SweepCones:     len(miters),
+			SweepQuery:     queries,
+			SweepMS:        float64(sweepDur.Microseconds()) / 1000,
+			DpllSweepMS:    float64(dpllDur.Microseconds()) / 1000,
+			LearnedClauses: sweepStats.LearnedClauses,
+			Restarts:       sweepStats.Restarts,
+			AssumpSolves:   sweepStats.AssumptionSolves,
+			ModelsRejected: sweepStats.ModelsRejected,
 		}
-		total := rv.ConesProved + rv.ConesRefuted + rv.ConesUnknown
-		r := row{
-			Bench:        name,
-			Words:        len(rep.Words),
-			ConesProved:  rv.ConesProved,
-			ConesRefuted: rv.ConesRefuted,
-			ConesUnknown: rv.ConesUnknown,
-			VerifyTotal:  total,
-			IdentifyMS:   float64(elapsed.Microseconds()) / 1000,
+		if secs := sweepDur.Seconds(); secs > 0 && queries > 0 {
+			r.ConesPerSec = float64(queries) / secs
 		}
-		if secs := elapsed.Seconds(); secs > 0 && total > 0 {
-			r.ConesPerSec = float64(total) / secs
+		if secs := dpllDur.Seconds(); secs > 0 && queries > 0 {
+			r.DpllConesPerSec = float64(queries) / secs
+		}
+		if r.DpllConesPerSec > 0 {
+			r.Speedup = r.ConesPerSec / r.DpllConesPerSec
 		}
 		report.Benches = append(report.Benches, r)
-		t.Logf("%s: %d cones verified in %.1fms", name, total, r.IdentifyMS)
+		t.Logf("%s: %d cones verified in %.1fms; sweep %d queries: cdcl %.1fms vs dpll %.1fms (%.1fx)",
+			name, r.VerifyTotal, r.IdentifyMS, queries, r.SweepMS, r.DpllSweepMS, r.Speedup)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -76,4 +277,52 @@ func TestEmitEqcheckBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// TestBenchEqcheckJSONWellFormed guards the committed BENCH_eqcheck.json:
+// schema intact, every bench sound (no refuted or undecided cones), a
+// non-empty sweep everywhere, and the incremental engine at least 10x the
+// legacy DPLL on the large benches — the figure this engine upgrade is
+// pinned to.
+func TestBenchEqcheckJSONWellFormed(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_eqcheck.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report eqcheckBenchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benches) == 0 {
+		t.Fatal("no benches in BENCH_eqcheck.json")
+	}
+	large := map[string]bool{"b14": false, "b15": false}
+	for _, r := range report.Benches {
+		if r.ConesRefuted != 0 || r.ConesUnknown != 0 {
+			t.Errorf("%s: refuted=%d unknown=%d, want 0/0", r.Bench, r.ConesRefuted, r.ConesUnknown)
+		}
+		if r.VerifyTotal == 0 || r.ConesProved != r.VerifyTotal {
+			t.Errorf("%s: proved=%d of total=%d, want all proved and non-zero", r.Bench, r.ConesProved, r.VerifyTotal)
+		}
+		if r.SweepCones == 0 || r.SweepQuery == 0 || r.ConesPerSec <= 0 || r.DpllConesPerSec <= 0 {
+			t.Errorf("%s: empty or untimed sweep: %+v", r.Bench, r)
+		}
+		if r.ModelsRejected != 0 {
+			t.Errorf("%s: models_rejected=%d — solver bug recorded in the baseline", r.Bench, r.ModelsRejected)
+		}
+		if _, ok := large[r.Bench]; ok {
+			large[r.Bench] = true
+			if r.Speedup < 10 {
+				t.Errorf("%s: speedup %.2fx, want >= 10x over the DPLL baseline", r.Bench, r.Speedup)
+			}
+			if r.ConesPerSec < 10*r.DpllConesPerSec {
+				t.Errorf("%s: cones_per_sec %.0f < 10x dpll %.0f", r.Bench, r.ConesPerSec, r.DpllConesPerSec)
+			}
+		}
+	}
+	for name, present := range large {
+		if !present {
+			t.Errorf("bench %s missing from BENCH_eqcheck.json", name)
+		}
+	}
 }

@@ -4,11 +4,13 @@
 // "ff:<name>"), over a shared input space of primary inputs and flip-flop
 // states. Each pair runs through the staged prover: structural hashing in a
 // shared AIG, 64-lane random simulation (which yields a concrete
-// counterexample on refutation), then a SAT proof.
+// counterexample on refutation), then a SAT proof by an incremental CDCL
+// solver shared across all outputs (-no-learn falls back to the legacy DPLL
+// engine; -restarts tunes the CDCL Luby restart interval).
 //
 // Usage:
 //
-//	gateeq [-json] [-pin name=0,name=1] [-sat-budget N] a.v b.v
+//	gateeq [-json] [-pin name=0,name=1] [-sat-budget N] [-no-learn] a.v b.v
 //
 // One of the two files may be "-" for stdin. -pin forces nets to constants
 // in both designs before comparison (the Reduce tie-offs "$const0" and
@@ -40,6 +42,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	pinFlag := fs.String("pin", "", "comma-separated name=0/name=1 constants applied to both designs")
 	budget := fs.Int("sat-budget", 0, "conflict cap per SAT query (0 = default, negative disables SAT)")
 	simRounds := fs.Int("sim", 0, "64-lane random simulation rounds before SAT (0 = default, negative skips)")
+	restarts := fs.Int("restarts", 0, "CDCL Luby restart base interval in conflicts (0 = default, negative disables restarts)")
+	noLearn := fs.Bool("no-learn", false, "use the legacy non-learning DPLL engine instead of incremental CDCL")
 	quiet := fs.Bool("q", false, "suppress the summary line on stderr")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: gateeq [-json] [-pin name=0,name=1] [-sat-budget N] a.v b.v")
@@ -74,6 +78,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	rep, err := gatewords.CheckEquivalence(designs[0], designs[1], pins, gatewords.EquivalenceOptions{
 		MaxConflicts: *budget,
 		SimRounds:    *simRounds,
+		Restarts:     *restarts,
+		NoLearn:      *noLearn,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "gateeq: %v\n", err)

@@ -17,6 +17,13 @@ type EquivalenceOptions struct {
 	// SimRounds is the number of 64-lane random simulation rounds run
 	// before SAT (0 = default; negative skips simulation).
 	SimRounds int
+	// Restarts is the Luby restart base interval of the CDCL engine, in
+	// conflicts (0 = default; negative disables restarts).
+	Restarts int
+	// NoLearn selects the legacy non-learning DPLL engine instead of the
+	// incremental CDCL default — slower, but an independent implementation
+	// useful for cross-checking a surprising verdict.
+	NoLearn bool
 }
 
 // OutputEquivalence is the verdict for one matched observable: a primary
@@ -85,6 +92,8 @@ func CheckEquivalence(a, b *Design, pin map[string]bool, opt EquivalenceOptions)
 	res, err := eqcheck.CheckNetlists(a.nl, b.nl, pins, eqcheck.Options{
 		MaxConflicts: opt.MaxConflicts,
 		SimRounds:    opt.SimRounds,
+		Restarts:     opt.Restarts,
+		NoLearn:      opt.NoLearn,
 	})
 	if err != nil {
 		return nil, err

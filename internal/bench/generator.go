@@ -120,6 +120,28 @@ type Generated struct {
 	Profile Profile
 	NL      *netlist.Netlist
 	Refs    []refwords.Word
+
+	rtl *rtl.Design // the word-level design NL was synthesized from
+}
+
+// Resynthesize re-maps the generated design's word-level RTL with a
+// different synthesis recipe (mux mapping style, fanin cap, numbering seed),
+// yielding a netlist functionally equivalent to NL but structurally
+// different — raw material for equivalence-checker benchmarks, where the two
+// mappings must be proved equal output by output. The profile's scan-chain
+// setting is pinned: scan structure is part of the function. It returns an
+// error when called on a Generated that was not produced by Generate (no
+// retained RTL).
+func (g *Generated) Resynthesize(opt synth.Options) (*netlist.Netlist, error) {
+	if g.rtl == nil {
+		return nil, fmt.Errorf("bench %s: no retained RTL to resynthesize", g.Profile.Name)
+	}
+	opt.InsertScan = g.Profile.Scan
+	res, err := synth.Synthesize(g.rtl, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.NL, nil
 }
 
 // resolveBase expands a derived profile (Base != "") into a full one: the
@@ -198,7 +220,7 @@ func (p Profile) Generate() (*Generated, error) {
 		}
 	}
 	refs := refwords.Extract(res.NL, refwords.Options{})
-	return &Generated{Profile: p, NL: res.NL, Refs: refs}, nil
+	return &Generated{Profile: p, NL: res.NL, Refs: refs, rtl: g.d}, nil
 }
 
 // nCtlPI is the number of shared primary-input control bits.

@@ -1,18 +1,90 @@
 package eqcheck
 
-// cnf.go: Tseitin encoding of an AIG cone into the DPLL solver. Only the
-// transitive fanin cone of the query literal is encoded — the surrounding
-// shared AIG (which may hold many unrelated cones) costs nothing.
+// cnf.go: Tseitin encoding of AIG cones into the SAT engines. Only the
+// transitive fanin cone of the query literals is encoded — the surrounding
+// shared AIG (which may hold many unrelated cones) costs nothing. Each AND
+// node v = a ∧ b becomes the three clauses (¬v∨a), (¬v∨b), (v∨¬a∨¬b); the
+// constant node, when reachable, gets a unit clause forcing it false; input
+// nodes stay free.
+//
+// Two encoders share the clause shape:
+//
+//   - encoder feeds the incremental CDCL solver: cones are encoded on
+//     demand and never twice, so a warm Solver that has proved one root pays
+//     only the structural delta for the next, and queries are asserted as
+//     assumptions instead of unit clauses (the clause database stays valid
+//     across queries).
+//   - tseitinAll builds a fresh DPLL instance per query for the -no-learn
+//     escape hatch, asserting every goal literal as a unit clause. The
+//     encoding is budget-independent, so retry-ladder escalations reuse it
+//     via dpll.reset instead of re-encoding.
 
 import "gatewords/internal/aig"
 
-// tseitin encodes the fanin cone of root into a fresh solver and asserts root
-// true. It returns the solver and the AIG-node → CNF-variable mapping (used
-// to read input values back out of a model). Each AND node v = a ∧ b becomes
-// the three clauses (¬v∨a), (¬v∨b), (v∨¬a∨¬b); the constant node, when
-// reachable, gets a unit clause forcing it false; input nodes stay free.
-func tseitin(g *aig.AIG, root aig.Lit, maxConflicts int) (*dpll, map[int]int) {
-	cone := g.ConeNodes(root)
+// encoder incrementally Tseitin-encodes AIG cones into a CDCL solver.
+type encoder struct {
+	g     *aig.AIG
+	s     *cdcl
+	varOf map[int]int // AIG node -> CNF variable
+}
+
+func newEncoder(g *aig.AIG, s *cdcl) *encoder {
+	return &encoder{g: g, s: s, varOf: make(map[int]int)}
+}
+
+// lit maps an AIG literal over an encoded node to its CNF literal.
+func (e *encoder) lit(l aig.Lit) intLit {
+	v := e.varOf[l.Node()]
+	if l.Negated() {
+		return negLit(v)
+	}
+	return posLit(v)
+}
+
+// ensure encodes the fanin cones of the given literals, skipping every node
+// already encoded. A node's presence in varOf implies its whole fanin cone
+// is present (nodes are only ever introduced by a cone walk that includes
+// their ancestors), so re-proving a cone already seen is free. It reports
+// whether any new node was encoded.
+func (e *encoder) ensure(roots ...aig.Lit) bool {
+	missing := roots[:0:0]
+	for _, r := range roots {
+		if _, ok := e.varOf[r.Node()]; !ok {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) == 0 {
+		return false
+	}
+	cone := e.g.ConeNodes(missing...)
+	fresh := make([]int, 0, len(cone))
+	for _, n := range cone {
+		if _, ok := e.varOf[n]; !ok {
+			e.varOf[n] = e.s.newVar()
+			fresh = append(fresh, n)
+		}
+	}
+	for _, n := range fresh {
+		if f0, f1, ok := e.g.IsAnd(n); ok {
+			v := posLit(e.varOf[n])
+			a, b := e.lit(f0), e.lit(f1)
+			e.s.addClause(litNot(v), a)
+			e.s.addClause(litNot(v), b)
+			e.s.addClause(v, litNot(a), litNot(b))
+		} else if n == 0 {
+			e.s.addClause(negLit(e.varOf[n]))
+		}
+	}
+	return len(fresh) > 0
+}
+
+// tseitinAll encodes the union of the goals' fanin cones into a fresh DPLL
+// solver and asserts every goal literal true (a query "goal[0] under
+// assumptions goal[1:]" is one conjunction here — the legacy engine has no
+// assumption interface). It returns the solver and the AIG-node →
+// CNF-variable mapping used to read input values back out of a model.
+func tseitinAll(g *aig.AIG, goals []aig.Lit, maxConflicts int) (*dpll, map[int]int) {
+	cone := g.ConeNodes(goals...)
 	varOf := make(map[int]int, len(cone))
 	for i, n := range cone {
 		varOf[n] = i
@@ -36,6 +108,8 @@ func tseitin(g *aig.AIG, root aig.Lit, maxConflicts int) (*dpll, map[int]int) {
 			s.addClause(negLit(varOf[n]))
 		}
 	}
-	s.addClause(cnfLit(root))
+	for _, l := range goals {
+		s.addClause(cnfLit(l))
+	}
 	return s, varOf
 }

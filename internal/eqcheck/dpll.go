@@ -4,9 +4,12 @@ package eqcheck
 // propagation, chronological backtracking over an explicit decision stack, a
 // static most-occurrences branching order with false-first phase, and a
 // conflict budget that turns "too hard" into an explicit Unknown instead of
-// an open-ended search. No clause learning: the miters this solver sees are
-// depth-limited cone pairs and lint queries, where propagation plus the
-// structural sharing already performed by the AIG does most of the work.
+// an open-ended search. No clause learning.
+//
+// This is the legacy engine, retained behind Options.NoLearn (`gateeq
+// -no-learn`) as an escape hatch and as an independent oracle for
+// cross-checking the CDCL engine (see fuzz_test.go). The default engine is
+// the incremental CDCL solver in cdcl.go.
 
 // intLit is a CNF literal: variable index shifted left with the negation bit
 // in the LSB (the same convention as aig.Lit, over CNF variables).
@@ -216,10 +219,13 @@ func (s *dpll) solve() solveStatus {
 		s.decisions = append(s.decisions, decision{trailLen: len(s.trail), lit: negLit(v)})
 		s.enqueue(negLit(v))
 		for !s.propagate() {
-			s.stats.Conflicts++
-			if s.maxConflicts >= 0 && s.stats.Conflicts > s.maxConflicts {
+			// The budget is inclusive: at most maxConflicts conflicts are
+			// resolved, and the one that would exceed it returns Unknown
+			// unresolved (so a budget of 0 performs no search at all).
+			if s.maxConflicts >= 0 && s.stats.Conflicts >= s.maxConflicts {
 				return statusUnknown
 			}
+			s.stats.Conflicts++
 			// Chronological backtracking: flip the deepest unflipped
 			// decision, popping fully explored ones.
 			flipped := false
@@ -269,3 +275,14 @@ func (s *dpll) pickVar() int {
 
 // modelValue reports the value of variable v in a SAT model.
 func (s *dpll) modelValue(v int) bool { return s.assign[v] == 1 }
+
+// reset returns the solver to its pre-search state under a fresh conflict
+// budget, keeping the clause database and watch lists intact: the encoding
+// is budget-independent, so a retry-ladder escalation re-searches without
+// re-encoding (solve re-enqueues the top-level units itself).
+func (s *dpll) reset(maxConflicts int) {
+	s.backtrackTo(0)
+	s.decisions = s.decisions[:0]
+	s.maxConflicts = maxConflicts
+	s.stats = Stats{}
+}

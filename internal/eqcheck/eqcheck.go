@@ -8,12 +8,21 @@
 //  2. 64-bit-parallel random simulation — each round evaluates 64 input
 //     patterns at once; any mismatching lane is extracted as a concrete
 //     counterexample assignment;
-//  3. Tseitin CNF + a small DPLL SAT solver — UNSAT of the miter proves
-//     equivalence, SAT yields a counterexample, and a conflict budget turns
-//     divergence into an explicit Unknown.
+//  3. Tseitin CNF + an incremental CDCL SAT solver (clause learning, VSIDS
+//     branching, Luby restarts; see cdcl.go) — UNSAT of the miter proves
+//     equivalence, SAT yields a counterexample, and an inclusive conflict
+//     budget turns divergence into an explicit Unknown. A budget-exhausted
+//     query escalates through a retry ladder interleaved with fresh-seeded
+//     simulation chunks (a deterministic sim/SAT portfolio), and each retry
+//     is a warm re-search on the same solver with the budget doubled.
 //
-// The same pipeline answers plain satisfiability queries (Solve), which is
-// what the NL4xx semantic lint rules are built on.
+// The Solver type keeps the SAT engine warm across queries: cones are
+// Tseitin-encoded once, queries are asserted as assumptions instead of unit
+// clauses (Solver.SolveUnder), and learned clauses plus branching activities
+// carry over — which is what makes re-proving many near-identical cones
+// (reduce.VerifyCones) and re-proving one cone under many control
+// assignments cheap. The package-level functions run the same pipeline on a
+// transient solver. Options.NoLearn selects the legacy DPLL engine instead.
 package eqcheck
 
 import (
@@ -60,6 +69,9 @@ const (
 	// DefaultRetryConflictCap bounds the escalating-retry ladder: 8× the
 	// default conflict budget, reached after three doublings.
 	DefaultRetryConflictCap = 8 * DefaultMaxConflicts
+	// DefaultRestartBase is the CDCL Luby restart unit: the k-th restart
+	// fires after luby(k)·base conflicts.
+	DefaultRestartBase = 128
 )
 
 // Options tunes the staged pipeline. The zero value uses the defaults;
@@ -72,29 +84,50 @@ type Options struct {
 	// Seed seeds the deterministic pattern generator. 0 selects a fixed
 	// default, so results are reproducible unless a seed is given.
 	Seed uint64
-	// MaxConflicts bounds the DPLL search; exceeding it yields Unknown.
-	// 0 means DefaultMaxConflicts; negative skips the SAT stage.
+	// MaxConflicts bounds the SAT search in solver conflicts; exhausting it
+	// yields Unknown. The bound is inclusive: at most MaxConflicts conflicts
+	// are resolved, and the conflict that would exceed the budget aborts the
+	// search unresolved (a budget of 0 at the engine level performs no
+	// search at all). 0 here means DefaultMaxConflicts; negative skips the
+	// SAT stage.
 	MaxConflicts int
 	// RetryUnknown is the depth of the escalating-retry ladder: a SAT stage
 	// that exhausts its conflict budget (Unknown) is rerun up to RetryUnknown
 	// more times with the budget doubled each attempt, capped at
-	// RetryConflictCap. 0 disables retries; retries never fire on decided
-	// (Sat/Unsat) verdicts, so enabling the ladder only spends effort where
-	// the answer was otherwise lost.
+	// RetryConflictCap. On the default CDCL engine a retry is a warm
+	// re-search — the clause database, learned clauses, and branching
+	// activities carry over, so escalation costs only the additional search.
+	// Each escalation is preceded by a fresh-seeded simulation chunk (the
+	// deterministic sim/SAT portfolio), which can short-circuit a refutation
+	// the SAT search is struggling toward. 0 disables retries; retries never
+	// fire on decided (Sat/Unsat) verdicts, so enabling the ladder only
+	// spends effort where the answer was otherwise lost.
 	RetryUnknown int
 	// RetryConflictCap caps the escalated conflict budget (0 means
 	// DefaultRetryConflictCap). Once the cap is reached, a remaining Unknown
 	// is final.
 	RetryConflictCap int
+	// Restarts is the Luby restart base interval of the CDCL engine, in
+	// conflicts. 0 means DefaultRestartBase; negative disables restarts.
+	Restarts int
+	// NoLearn selects the legacy DPLL engine (no clause learning, no
+	// assumption interface — every query re-encodes its cone from scratch,
+	// though retry-ladder escalations still reuse the encoding). It is the
+	// escape hatch behind `gateeq -no-learn`, and the independent oracle the
+	// fuzzer cross-checks the CDCL engine against. Verdicts are engine-
+	// independent; only the work to reach them differs.
+	NoLearn bool
 	// Observer, when non-nil, accumulates each query's work — simulation
 	// rounds and the SAT budget actually consumed (decisions, propagations,
-	// conflicts) — into the recorder (see internal/obs). Nil costs nothing.
+	// conflicts, learned clauses, restarts, assumption solves) — into the
+	// recorder (see internal/obs). Nil costs nothing.
 	Observer *obs.Recorder
 	// Context, when non-nil, is polled between queries by the multi-query
-	// drivers (CheckNetlists, reduce.VerifyCones): once it is cancelled, the
-	// remaining queries resolve to Unknown with Stage "cancelled" instead of
-	// running, so a deadline yields a strict prefix of decided results. A
-	// single in-flight query is not interrupted.
+	// drivers (CheckNetlists, reduce.VerifyCones) and between assumption
+	// solves inside the retry ladder: once it is cancelled, the remaining
+	// work resolves to Unknown with Stage "cancelled" instead of running, so
+	// a deadline yields a strict prefix of decided results. A single
+	// in-flight SAT search is not interrupted.
 	Context context.Context
 }
 
@@ -144,6 +177,16 @@ func (o Options) retryCap() int {
 	return o.RetryConflictCap
 }
 
+func (o Options) restartBase() int {
+	switch {
+	case o.Restarts < 0:
+		return 0
+	case o.Restarts == 0:
+		return DefaultRestartBase
+	}
+	return o.Restarts
+}
+
 // Stats reports the work each stage performed. Decisions, Propagations, and
 // Conflicts accumulate across retry-ladder attempts; Retries counts the
 // escalations taken (0 on a first-attempt decision).
@@ -155,13 +198,50 @@ type Stats struct {
 	Propagations int `json:"propagations"`
 	Conflicts    int `json:"conflicts"`
 	Retries      int `json:"retries"`
+	// Encodings counts Tseitin encoding passes that built CNF for this
+	// query. It is at most 1 per query: the encoding is budget-independent,
+	// so retry-ladder escalations never re-encode, and a warm Solver that
+	// has already encoded the cone reports 0.
+	Encodings int `json:"encodings"`
+	// LearnedClauses counts clauses the CDCL engine learned from conflicts
+	// during this query (0 on the DPLL engine).
+	LearnedClauses int `json:"learned_clauses"`
+	// Restarts counts CDCL Luby restarts taken during this query.
+	Restarts int `json:"restarts"`
+	// AssumptionSolves counts incremental assumption solves issued to the
+	// warm CDCL engine for this query (one per retry-ladder attempt).
+	AssumptionSolves int `json:"assumption_solves"`
+	// ModelsRejected counts SAT models that failed re-simulation against
+	// the AIG. Every rejection is a solver bug surfaced as an explicit
+	// Unknown instead of a bogus counterexample — on a healthy build this
+	// is always 0, and the sat_models_rejected obs counter makes a non-zero
+	// value visible in /metrics and -statsjson.
+	ModelsRejected int `json:"models_rejected"`
+}
+
+// reportSolve accumulates one query's stats into the observer.
+func reportSolve(rec *obs.Recorder, st Stats) {
+	if rec == nil {
+		return
+	}
+	rec.Add(obs.CtrEqChecks, 1)
+	rec.Add(obs.CtrSimRounds, int64(st.SimRounds))
+	rec.Add(obs.CtrSATDecisions, int64(st.Decisions))
+	rec.Add(obs.CtrSATPropagations, int64(st.Propagations))
+	rec.Add(obs.CtrSATConflicts, int64(st.Conflicts))
+	rec.Add(obs.CtrSATRetries, int64(st.Retries))
+	rec.Add(obs.CtrSATLearned, int64(st.LearnedClauses))
+	rec.Add(obs.CtrSATRestarts, int64(st.Restarts))
+	rec.Add(obs.CtrSATAssumpSolves, int64(st.AssumptionSolves))
+	rec.Add(obs.CtrSATModelsRejected, int64(st.ModelsRejected))
 }
 
 // Result is the outcome of one literal-pair (or one output-pair) check.
 type Result struct {
 	Verdict Verdict
 	// Stage names the pipeline stage that decided: "strash", "sim" or "sat".
-	// For Unknown it names the stage whose budget ran out.
+	// For Unknown it names the stage whose budget ran out ("cancelled" for
+	// queries skipped after Options.Context fired).
 	Stage string
 	// Cex, set when NotEquivalent, assigns the miter's support inputs (by
 	// AIG input name) so the two functions differ.
@@ -196,7 +276,7 @@ func (s SolveStatus) String() string {
 // SolveResult is the outcome of Solve.
 type SolveResult struct {
 	Status SolveStatus
-	// Model, set when Sat, assigns the literal's support inputs by name.
+	// Model, set when Sat, assigns the query's support inputs by name.
 	Model map[string]bool
 	Stage string
 	Stats Stats
@@ -213,100 +293,252 @@ func (r *splitmix64) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Solve decides satisfiability of literal l in g: it looks for an input
-// assignment making l true. It runs the same staged pipeline as the
-// equivalence check (constant fold → random simulation, which can only answer
-// Sat → SAT solver). Each query's stage work reports into opt.Observer.
-func Solve(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
-	sr := solveStaged(g, l, opt)
-	if rec := opt.Observer; rec != nil {
-		rec.Add(obs.CtrEqChecks, 1)
-		rec.Add(obs.CtrSimRounds, int64(sr.Stats.SimRounds))
-		rec.Add(obs.CtrSATDecisions, int64(sr.Stats.Decisions))
-		rec.Add(obs.CtrSATPropagations, int64(sr.Stats.Propagations))
-		rec.Add(obs.CtrSATConflicts, int64(sr.Stats.Conflicts))
-		rec.Add(obs.CtrSATRetries, int64(sr.Stats.Retries))
-	}
+// Solver runs the staged pipeline over one shared AIG, keeping the SAT
+// engine warm between queries: cones are Tseitin-encoded exactly once, each
+// query is asserted as an assumption instead of a unit clause, and learned
+// clauses plus branching activities persist — so proving N related cones, or
+// one cone under N control assignments, costs one encoding and N cheap
+// assumption solves. The AIG may keep growing between queries (CheckLits
+// builds miters in place); the encoder picks up new structure on demand.
+//
+// A Solver is not goroutine-safe: give each worker its own (the shared AIG
+// must then not be mutated concurrently either). The package-level Solve /
+// CheckLits / CheckNetlists wrappers construct transient Solvers.
+type Solver struct {
+	g   *aig.AIG
+	opt Options
+
+	sat *cdcl    // lazily created on the first SAT-stage query
+	enc *encoder // incremental Tseitin encoder into sat
+
+	words, vals []uint64 // simulation scratch
+}
+
+// NewSolver returns a warm solver over g. The options are fixed for the
+// solver's lifetime.
+func NewSolver(g *aig.AIG, opt Options) *Solver {
+	return &Solver{g: g, opt: opt}
+}
+
+// Solve decides satisfiability of literal l: it looks for an input
+// assignment making l true.
+func (s *Solver) Solve(l aig.Lit) SolveResult { return s.SolveUnder(l, nil) }
+
+// SolveUnder decides satisfiability of l with every assumption literal held
+// true. On the default engine the assumptions are passed to the CDCL solver
+// as solver assumptions — nothing is re-encoded between calls that share
+// cones, so sweeping one cone under many control assignments is the cheap
+// path this solver is built for. Unsat means no model exists under these
+// assumptions. Each query's stage work reports into Options.Observer.
+func (s *Solver) SolveUnder(l aig.Lit, assumps []aig.Lit) SolveResult {
+	sr := s.solveUnder(l, assumps)
+	reportSolve(s.opt.Observer, sr.Stats)
 	return sr
 }
 
-func solveStaged(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
-	switch l {
-	case aig.False:
-		return SolveResult{Status: Unsat, Stage: "strash"}
-	case aig.True:
+func (s *Solver) solveUnder(l aig.Lit, assumps []aig.Lit) SolveResult {
+	// Stage 1: structural constants. A false goal refutes the query
+	// outright; true goals drop out.
+	goals := make([]aig.Lit, 0, 1+len(assumps))
+	for i := -1; i < len(assumps); i++ {
+		gl := l
+		if i >= 0 {
+			gl = assumps[i]
+		}
+		switch gl {
+		case aig.False:
+			return SolveResult{Status: Unsat, Stage: "strash"}
+		case aig.True:
+			continue
+		}
+		goals = append(goals, gl)
+	}
+	if len(goals) == 0 {
 		return SolveResult{Status: Sat, Model: map[string]bool{}, Stage: "strash"}
 	}
+
 	var st Stats
 
 	// Stage 2: 64-bit-parallel random simulation.
-	if rounds := opt.simRounds(); rounds > 0 {
-		rng := splitmix64{s: opt.seed()}
-		words := make([]uint64, g.NumInputs())
-		var vals []uint64
-		for r := 0; r < rounds; r++ {
-			for i := range words {
-				words[i] = rng.next()
-			}
-			if r == 0 && len(words) > 0 {
-				// Make the first round's lanes 0 and 63 the all-zero and
-				// all-one assignments: cheap catches for constant-ish cones
-				// and deterministic counterexamples on trivial miters.
-				for i := range words {
-					words[i] = words[i]&^uint64(1) | 1<<63
-				}
-			}
-			vals = g.Sim64(words, vals)
-			st.SimRounds = r + 1
-			if w := aig.Word(vals, l); w != 0 {
-				lane := uint(bits.TrailingZeros64(w))
-				return SolveResult{
-					Status: Sat,
-					Model:  modelFromWords(g, l, words, lane),
-					Stage:  "sim",
-					Stats:  st,
-				}
-			}
+	if rounds := s.opt.simRounds(); rounds > 0 {
+		if res, hit := s.simulate(goals, s.opt.seed(), rounds, &st); hit {
+			return res
 		}
 	}
 
-	if !opt.satEnabled() {
+	if !s.opt.satEnabled() {
 		return SolveResult{Status: SolveUnknown, Stage: "sim", Stats: st}
 	}
 
-	// Stage 3: Tseitin CNF + DPLL, with the escalating-retry ladder: an
-	// Unknown verdict (conflict budget exhausted) reruns the solve with the
-	// budget doubled, up to RetryUnknown attempts or the RetryConflictCap,
-	// whichever comes first. The solver is deterministic, so a rerun with a
-	// larger budget strictly extends the exhausted search.
-	budget := opt.maxConflicts()
+	// Stage 3: SAT, through the escalating-retry ladder (see Options).
+	if s.opt.NoLearn {
+		return s.solveDPLL(goals, st)
+	}
+	return s.solveCDCL(goals, st)
+}
+
+// simulate runs rounds of 64-lane random simulation looking for a lane where
+// every goal literal is true, extracting that lane as a model on a hit.
+func (s *Solver) simulate(goals []aig.Lit, seed uint64, rounds int, st *Stats) (SolveResult, bool) {
+	rng := splitmix64{s: seed}
+	n := s.g.NumInputs()
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	}
+	words := s.words[:n]
+	for r := 0; r < rounds; r++ {
+		for i := range words {
+			words[i] = rng.next()
+		}
+		if r == 0 && len(words) > 0 {
+			// Make the first round's lanes 0 and 63 the all-zero and
+			// all-one assignments: cheap catches for constant-ish cones
+			// and deterministic counterexamples on trivial miters.
+			for i := range words {
+				words[i] = words[i]&^uint64(1) | 1<<63
+			}
+		}
+		s.vals = s.g.Sim64(words, s.vals)
+		st.SimRounds++
+		w := ^uint64(0)
+		for _, gl := range goals {
+			w &= aig.Word(s.vals, gl)
+		}
+		if w != 0 {
+			lane := uint(bits.TrailingZeros64(w))
+			return SolveResult{
+				Status: Sat,
+				Model:  modelFromWords(s.g, goals, words, lane),
+				Stage:  "sim",
+				Stats:  *st,
+			}, true
+		}
+	}
+	return SolveResult{}, false
+}
+
+// solveCDCL runs the SAT ladder on the warm incremental engine: the goal
+// cones are encoded (once, ever), the goals become solver assumptions, and a
+// retry is another assumption solve with a doubled budget on the same clause
+// database.
+func (s *Solver) solveCDCL(goals []aig.Lit, st Stats) SolveResult {
+	if s.sat == nil {
+		s.sat = newCDCL(s.opt.restartBase())
+		s.enc = newEncoder(s.g, s.sat)
+	}
+	if s.enc.ensure(goals...) {
+		st.Encodings++
+	}
+	assumps := make([]intLit, len(goals))
+	for i, gl := range goals {
+		assumps[i] = s.enc.lit(gl)
+	}
+	budget := s.opt.maxConflicts()
 	for attempt := 0; ; attempt++ {
-		s, varOf := tseitin(g, l, budget)
-		st.Vars = s.nVars
-		st.Clauses = len(s.clauses) + len(s.units)
-		status := s.solve()
-		st.Decisions += s.stats.Decisions
-		st.Propagations += s.stats.Propagations
-		st.Conflicts += s.stats.Conflicts
+		before := s.sat.stats
+		st.AssumptionSolves++
+		status := s.sat.solveUnder(assumps, budget)
+		st.Decisions += s.sat.stats.decisions - before.decisions
+		st.Propagations += s.sat.stats.propagations - before.propagations
+		st.Conflicts += s.sat.stats.conflicts - before.conflicts
+		st.LearnedClauses += s.sat.stats.learned - before.learned
+		st.Restarts += s.sat.stats.restarts - before.restarts
+		st.Vars = s.sat.nVars
+		st.Clauses = s.sat.numClauses()
 		switch status {
 		case statusUnsat:
 			return SolveResult{Status: Unsat, Stage: "sat", Stats: st}
 		case statusUnknown:
-			next := budget * 2
-			if hi := opt.retryCap(); next > hi {
-				next = hi
-			}
-			if attempt >= opt.RetryUnknown || next <= budget {
+			next, ok := s.nextBudget(budget, attempt)
+			if !ok {
 				return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+			}
+			if s.opt.cancelled() {
+				return SolveResult{Status: SolveUnknown, Stage: "cancelled", Stats: st}
 			}
 			st.Retries++
 			budget = next
+			if res, hit := s.portfolioSim(goals, attempt, &st); hit {
+				return res
+			}
 			continue
 		}
-		model, ok := modelFromSolver(g, l, s, varOf)
+		model, ok := s.modelFromCDCL(goals)
 		if !ok {
-			// The solver's model failed re-simulation: a solver bug. Degrade to
-			// Unknown rather than report a bogus counterexample.
+			// The solver's model failed re-simulation: a solver bug.
+			// Degrade to Unknown rather than report a bogus counterexample,
+			// and surface the event in Stats and the obs schema.
+			st.ModelsRejected++
+			return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+		}
+		return SolveResult{Status: Sat, Model: model, Stage: "sat", Stats: st}
+	}
+}
+
+// nextBudget computes the escalated conflict budget for the retry ladder, or
+// reports that the ladder is exhausted.
+func (s *Solver) nextBudget(budget, attempt int) (int, bool) {
+	next := budget * 2
+	if hi := s.opt.retryCap(); next > hi {
+		next = hi
+	}
+	if attempt >= s.opt.RetryUnknown || next <= budget {
+		return 0, false
+	}
+	return next, true
+}
+
+// portfolioSim is the simulation half of the deterministic sim/SAT
+// portfolio: before each SAT escalation, a fresh-seeded chunk of random
+// simulation gets a chance to refute the query outright. The schedule is
+// fixed by attempt counts, never wall time, so results are byte-identical
+// across machines and worker counts.
+func (s *Solver) portfolioSim(goals []aig.Lit, attempt int, st *Stats) (SolveResult, bool) {
+	rounds := s.opt.simRounds()
+	if rounds == 0 {
+		return SolveResult{}, false
+	}
+	chunkSeed := s.opt.seed() + uint64(attempt+1)*0xa0761d6478bd642f
+	return s.simulate(goals, chunkSeed, rounds, st)
+}
+
+// solveDPLL runs the SAT ladder on the legacy engine: the goal cones are
+// encoded into a fresh DPLL instance (goals asserted as unit clauses), and a
+// retry resets the same instance with a doubled budget — the encoding is
+// never rebuilt.
+func (s *Solver) solveDPLL(goals []aig.Lit, st Stats) SolveResult {
+	budget := s.opt.maxConflicts()
+	d, varOf := tseitinAll(s.g, goals, budget)
+	st.Encodings++
+	st.Vars = d.nVars
+	st.Clauses = len(d.clauses) + len(d.units)
+	for attempt := 0; ; attempt++ {
+		status := d.solve()
+		st.Decisions += d.stats.Decisions
+		st.Propagations += d.stats.Propagations
+		st.Conflicts += d.stats.Conflicts
+		switch status {
+		case statusUnsat:
+			return SolveResult{Status: Unsat, Stage: "sat", Stats: st}
+		case statusUnknown:
+			next, ok := s.nextBudget(budget, attempt)
+			if !ok {
+				return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
+			}
+			if s.opt.cancelled() {
+				return SolveResult{Status: SolveUnknown, Stage: "cancelled", Stats: st}
+			}
+			st.Retries++
+			budget = next
+			if res, hit := s.portfolioSim(goals, attempt, &st); hit {
+				return res
+			}
+			d.reset(budget)
+			continue
+		}
+		model, ok := s.modelFromDPLL(d, varOf, goals)
+		if !ok {
+			st.ModelsRejected++
 			return SolveResult{Status: SolveUnknown, Stage: "sat", Stats: st}
 		}
 		return SolveResult{Status: Sat, Model: model, Stage: "sat", Stats: st}
@@ -314,49 +546,85 @@ func solveStaged(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
 }
 
 // modelFromWords extracts the assignment of lane from the simulated words,
-// restricted to l's support.
-func modelFromWords(g *aig.AIG, l aig.Lit, words []uint64, lane uint) map[string]bool {
+// restricted to the goals' support.
+func modelFromWords(g *aig.AIG, goals []aig.Lit, words []uint64, lane uint) map[string]bool {
 	model := make(map[string]bool)
-	for _, i := range g.Support(l) {
-		model[g.InputName(i)] = words[i]>>lane&1 == 1
+	for _, gl := range goals {
+		for _, i := range g.Support(gl) {
+			model[g.InputName(i)] = words[i]>>lane&1 == 1
+		}
 	}
 	return model
 }
 
-// modelFromSolver reads the input assignment out of a SAT model and verifies
-// it against the AIG by simulation.
-func modelFromSolver(g *aig.AIG, l aig.Lit, s *dpll, varOf map[int]int) (map[string]bool, bool) {
+// modelFromCDCL reads the input assignment out of the CDCL model and
+// verifies every goal against the AIG by simulation.
+func (s *Solver) modelFromCDCL(goals []aig.Lit) (map[string]bool, bool) {
 	model := make(map[string]bool)
-	assign := make([]bool, g.NumInputs())
-	for _, i := range g.Support(l) {
-		n := g.InputLit(i).Node()
-		v, ok := varOf[n]
-		if !ok {
-			continue // outside the encoded cone: value is irrelevant
+	assign := make([]bool, s.g.NumInputs())
+	for _, gl := range goals {
+		for _, i := range s.g.Support(gl) {
+			n := s.g.InputLit(i).Node()
+			v, ok := s.enc.varOf[n]
+			if !ok {
+				continue // outside the encoded cone: value is irrelevant
+			}
+			b := s.sat.modelValue(v)
+			model[s.g.InputName(i)] = b
+			assign[i] = b
 		}
-		b := s.modelValue(v)
-		model[g.InputName(i)] = b
-		assign[i] = b
 	}
-	if !g.EvalBool(assign, l) {
-		return nil, false
+	for _, gl := range goals {
+		if !s.g.EvalBool(assign, gl) {
+			return nil, false
+		}
 	}
 	return model, true
 }
 
-// CheckLits decides whether literals a and b of the shared AIG g compute the
-// same function of the inputs. It may grow g (the miter XOR is built in
-// place, reusing existing structure via hashing).
-func CheckLits(g *aig.AIG, a, b aig.Lit, opt Options) Result {
+// modelFromDPLL is modelFromCDCL for the legacy engine.
+func (s *Solver) modelFromDPLL(d *dpll, varOf map[int]int, goals []aig.Lit) (map[string]bool, bool) {
+	model := make(map[string]bool)
+	assign := make([]bool, s.g.NumInputs())
+	for _, gl := range goals {
+		for _, i := range s.g.Support(gl) {
+			n := s.g.InputLit(i).Node()
+			v, ok := varOf[n]
+			if !ok {
+				continue
+			}
+			b := d.modelValue(v)
+			model[s.g.InputName(i)] = b
+			assign[i] = b
+		}
+	}
+	for _, gl := range goals {
+		if !s.g.EvalBool(assign, gl) {
+			return nil, false
+		}
+	}
+	return model, true
+}
+
+// CheckLits decides whether literals a and b compute the same function of
+// the inputs. It may grow the AIG (the miter XOR is built in place, reusing
+// existing structure via hashing).
+func (s *Solver) CheckLits(a, b aig.Lit) Result { return s.CheckLitsUnder(a, b, nil) }
+
+// CheckLitsUnder decides whether a and b compute the same function on every
+// input assignment satisfying the assumption literals — equivalence under a
+// control assignment, with the assumptions passed to the warm solver instead
+// of baked into a new encoding.
+func (s *Solver) CheckLitsUnder(a, b aig.Lit, assumps []aig.Lit) Result {
 	if a == b {
 		return Result{Verdict: Equivalent, Stage: "strash"}
 	}
-	m := g.Xor(a, b)
+	m := s.g.Xor(a, b)
 	if m == aig.False {
 		// The XOR folded away: equal by construction.
 		return Result{Verdict: Equivalent, Stage: "strash"}
 	}
-	sr := Solve(g, m, opt)
+	sr := s.SolveUnder(m, assumps)
 	switch sr.Status {
 	case Unsat:
 		return Result{Verdict: Equivalent, Stage: sr.Stage, Stats: sr.Stats}
@@ -368,15 +636,28 @@ func CheckLits(g *aig.AIG, a, b aig.Lit, opt Options) Result {
 		// semantics uses for absent inputs: false.
 		cex := sr.Model
 		for _, side := range [2]aig.Lit{a, b} {
-			for _, i := range g.Support(side) {
-				if _, ok := cex[g.InputName(i)]; !ok {
-					cex[g.InputName(i)] = false
+			for _, i := range s.g.Support(side) {
+				if _, ok := cex[s.g.InputName(i)]; !ok {
+					cex[s.g.InputName(i)] = false
 				}
 			}
 		}
 		return Result{Verdict: NotEquivalent, Stage: sr.Stage, Cex: cex, Stats: sr.Stats}
 	}
 	return Result{Verdict: Unknown, Stage: sr.Stage, Stats: sr.Stats}
+}
+
+// Solve decides satisfiability of literal l in g on a transient solver; use
+// a Solver directly to keep the engine warm across queries.
+func Solve(g *aig.AIG, l aig.Lit, opt Options) SolveResult {
+	return NewSolver(g, opt).Solve(l)
+}
+
+// CheckLits decides whether literals a and b of the shared AIG g compute the
+// same function of the inputs, on a transient solver. It may grow g (the
+// miter XOR is built in place, reusing existing structure via hashing).
+func CheckLits(g *aig.AIG, a, b aig.Lit, opt Options) Result {
+	return NewSolver(g, opt).CheckLits(a, b)
 }
 
 // OutputCheck is the per-observable outcome of a netlist-level check.
@@ -417,7 +698,8 @@ func (r *NetlistResult) Verdict() Verdict {
 // flip-flop outputs). pin forces named nets to constants on both sides before
 // lowering — the cofactor under a control assignment. The tie-off inputs
 // created by reduce.Materialize ("$const0", "$const1") are always pinned to
-// their values.
+// their values. All outputs share one warm solver, so structure common to
+// several output cones is encoded and learned from once.
 func CheckNetlists(na, nb *netlist.Netlist, pin map[string]logic.Value, opt Options) (*NetlistResult, error) {
 	eff := make(map[string]logic.Value, len(pin)+2)
 	eff["$const0"] = logic.Zero
@@ -434,6 +716,7 @@ func CheckNetlists(na, nb *netlist.Netlist, pin map[string]logic.Value, opt Opti
 	if err != nil {
 		return nil, fmt.Errorf("eqcheck: lowering %s: %w", nb.Name, err)
 	}
+	solver := NewSolver(g, opt)
 	res := &NetlistResult{}
 	for _, name := range fa.OutputNames {
 		lb, ok := fb.Outputs[name]
@@ -448,7 +731,7 @@ func CheckNetlists(na, nb *netlist.Netlist, pin map[string]logic.Value, opt Opti
 			res.Outputs = append(res.Outputs, OutputCheck{Name: name, Result: CancelledResult()})
 			continue
 		}
-		r := CheckLits(g, fa.Outputs[name], lb, opt)
+		r := solver.CheckLits(fa.Outputs[name], lb)
 		res.Outputs = append(res.Outputs, OutputCheck{Name: name, Result: r})
 	}
 	for _, name := range fb.OutputNames {

@@ -112,8 +112,9 @@ func mutate(nl *netlist.Netlist, src *byteSource) bool {
 // FuzzEqcheck feeds random netlist pairs (a generated netlist against a
 // possibly-mutated clone) through CheckNetlists and checks the checker's own
 // contract: no panics, verdicts stable across a repeated run, an unmutated
-// clone always proved equivalent, and every refutation's counterexample
-// replayable on the reference simulator.
+// clone always proved equivalent, every refutation's counterexample
+// replayable on the reference simulator, and the default CDCL engine agreeing
+// with the independent legacy DPLL engine on every decided verdict.
 func FuzzEqcheck(f *testing.F) {
 	f.Add([]byte{3, 7, 1, 4, 1, 5, 9, 2, 6})
 	f.Add([]byte{0})
@@ -143,6 +144,23 @@ func FuzzEqcheck(f *testing.F) {
 		}
 		if !mutated && res1.Verdict() != eqcheck.Equivalent {
 			t.Fatalf("identical clone not proved equivalent: %+v", res1.Outputs)
+		}
+		// Cross-check the engines: the non-learning DPLL is an independent
+		// implementation, so any decided disagreement is a solver bug. An
+		// Unknown on either side is legitimate (the engines spend the budget
+		// differently) and exempt.
+		optDPLL := opt
+		optDPLL.NoLearn = true
+		res3, err := eqcheck.CheckNetlists(na, nb, nil, optDPLL)
+		if err != nil {
+			t.Fatalf("CheckNetlists (no-learn): %v", err)
+		}
+		for i := range res1.Outputs {
+			v1, v3 := res1.Outputs[i].Result.Verdict, res3.Outputs[i].Result.Verdict
+			if v1 != v3 && v1 != eqcheck.Unknown && v3 != eqcheck.Unknown {
+				t.Fatalf("engines disagree on %q: cdcl=%v dpll=%v",
+					res1.Outputs[i].Name, v1, v3)
+			}
 		}
 		for _, oc := range res1.Outputs {
 			if oc.Result.Verdict != eqcheck.NotEquivalent {

@@ -106,6 +106,17 @@ const (
 	CtrScoapWidenedSCCs
 	// CtrTriageSuspects counts suspects emitted by gatewords.Triage.
 	CtrTriageSuspects
+	// CtrSATLearned counts clauses learned by CDCL conflict analysis.
+	CtrSATLearned
+	// CtrSATRestarts counts CDCL restarts (Luby sequence).
+	CtrSATRestarts
+	// CtrSATAssumpSolves counts incremental assumption solves on a warm
+	// solver (Solver.SolveUnder), as opposed to from-scratch encodings.
+	CtrSATAssumpSolves
+	// CtrSATModelsRejected counts SAT models that failed re-simulation
+	// against the AIG — each one is a solver bug surfaced instead of a
+	// silently degraded Unknown.
+	CtrSATModelsRejected
 
 	NumCounters
 )
@@ -115,6 +126,8 @@ var counterNames = [NumCounters]string{
 	"sim_rounds", "sat_decisions", "sat_propagations", "sat_conflicts",
 	"sat_retries", "panics_recovered", "degraded_subgroups",
 	"scoap_iterations", "scoap_widened_sccs", "triage_suspects",
+	"sat_learned_clauses", "sat_restarts", "sat_assumption_solves",
+	"sat_models_rejected",
 }
 
 // String names the counter.

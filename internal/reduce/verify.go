@@ -78,6 +78,12 @@ func (r *Reduction) VerifyCones(roots []netlist.NetID, depth int, opt eqcheck.Op
 	g := aig.New()
 	cl := aig.NewConeLowerer(g, r.nl.NetName)
 	orig := constView{nl: r.nl, r: r}
+	// One warm solver serves every root: rewritten cones overlap heavily with
+	// their originals (and with each other through shared logic), so the CDCL
+	// engine encodes the shared structure once and carries learned clauses and
+	// branching activities from cone to cone, asserting each miter as an
+	// assumption instead of rebuilding CNF per root.
+	solver := eqcheck.NewSolver(g, opt)
 	res := &VerifyResult{}
 	for _, root := range roots {
 		check := ConeCheck{Root: root, Name: r.nl.NetName(root)}
@@ -98,7 +104,7 @@ func (r *Reduction) VerifyCones(roots []netlist.NetID, depth int, opt eqcheck.Op
 			// abort the whole verification sweep.
 			check.Result = eqcheck.Result{Verdict: eqcheck.Unknown, Stage: "lower"}
 		} else {
-			check.Result = eqcheck.CheckLits(g, la, lb, opt)
+			check.Result = solver.CheckLits(la, lb)
 		}
 		switch check.Result.Verdict {
 		case eqcheck.Equivalent:
