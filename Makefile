@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check gatevet vet-fix faults serve-smoke bench bench-eqcheck bench-eqcheck-smoke bench-pipeline bench-pipeline-smoke bench-scoap bench-scoap-smoke race
+.PHONY: build test check gatevet vet-fix faults serve-smoke chaos chaos-long bench bench-eqcheck bench-eqcheck-smoke bench-pipeline bench-pipeline-smoke bench-scoap bench-scoap-smoke race
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,7 @@ check:
 	$(GO) test -race ./...
 	$(MAKE) faults
 	$(MAKE) serve-smoke
+	$(MAKE) chaos
 	$(MAKE) bench-scoap-smoke
 	$(MAKE) bench-eqcheck-smoke
 
@@ -62,6 +63,19 @@ faults:
 # via SIGTERM and require exit 0.
 serve-smoke:
 	$(GO) test -race -count=1 -run '^TestServeSmoke$$' -v ./cmd/wordidd/
+
+# chaos is the bounded (~60s) live chaos soak: the wordidd daemon is built
+# with the race detector and driven through overload bursts, load shedding,
+# slowloris/oversize clients, a SIGKILL mid-load with a journal-replay
+# restart, and a poison input tripping and recovering the quarantine
+# breaker. Asserts no accepted job is ever lost, stuck, or served different
+# bytes after a crash. chaos-long is the full soak (more kill/restart
+# cycles, bigger bursts) for pre-release runs.
+chaos:
+	WORDIDD_CHAOS=1 $(GO) test -count=1 -run '^TestChaos$$' -v -timeout 300s ./cmd/wordidd/
+
+chaos-long:
+	WORDIDD_CHAOS=long $(GO) test -count=1 -run '^TestChaos$$' -v -timeout 900s ./cmd/wordidd/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -1,0 +1,438 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaos is the live chaos harness behind `make chaos`: it builds the
+// daemon with the race detector, then drives it through the failure modes
+// the service is supposed to survive — overload bursts, load shedding,
+// slow and abusive HTTP clients, SIGKILL mid-load with a journal replay on
+// restart, and a poison input tripping and recovering the quarantine
+// breaker — asserting after each phase that no accepted job is ever lost,
+// stuck, or served different bytes than before the crash.
+//
+// Gated behind WORDIDD_CHAOS=1 (bounded, ~60s) or WORDIDD_CHAOS=long (the
+// full soak: more kill/restart cycles and bigger bursts).
+func TestChaos(t *testing.T) {
+	mode := os.Getenv("WORDIDD_CHAOS")
+	if mode == "" {
+		t.Skip("set WORDIDD_CHAOS=1 (or =long) to run the chaos harness")
+	}
+	killCycles, burst := 1, 8
+	if mode == "long" {
+		killCycles, burst = 4, 24
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "wordidd")
+	build := exec.Command("go", "build", "-race", "-o", bin, "gatewords/cmd/wordidd")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building race-enabled daemon: %v", err)
+	}
+	journalPath := filepath.Join(dir, "jobs.wal")
+
+	// --- life 1: overload, shedding, abusive clients, then SIGKILL --------
+
+	d := startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "8",
+		"-shed-gates", "2000", "-max-body", "4096", "-journal", journalPath)
+
+	// Overload burst: concurrent submissions with duplicate keys. Every
+	// accepted job must reach a terminal state; refusals must carry
+	// Retry-After and must not disturb the accepted ones.
+	fast := []string{"b03a", "b04a", "b05a", "b07a", "b08a"}
+	var mu sync.Mutex
+	var acceptedIDs []string
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc, code, hdr := submitJSON(t, d.base, fmt.Sprintf(`{"bench":%q}`, fast[i%len(fast)]))
+			switch code {
+			case http.StatusAccepted, http.StatusOK:
+				mu.Lock()
+				acceptedIDs = append(acceptedIDs, doc["id"].(string))
+				mu.Unlock()
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if hdr.Get("Retry-After") == "" {
+					t.Errorf("refusal %d missing Retry-After", code)
+				}
+			default:
+				t.Errorf("burst submission: unexpected status %d: %v", code, doc)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(acceptedIDs) == 0 {
+		t.Fatal("burst: nothing accepted")
+	}
+	doneReports := map[string]string{}
+	for _, id := range acceptedIDs {
+		final := awaitDone(t, d.base, id)
+		if final["status"] != "done" {
+			t.Fatalf("accepted burst job %s ended %v (%v)", id, final["status"], final["error"])
+		}
+		rep, _ := json.Marshal(final["report"])
+		doneReports[id] = string(rep)
+	}
+
+	// Deadline shedding: with a warm latency EWMA, an absurd deadline is
+	// refused up front instead of queued to die.
+	if _, code, hdr := submitJSON(t, d.base, `{"bench":"b07a","options":{"timeout_ms":1,"depth":9}}`); code != http.StatusTooManyRequests {
+		t.Errorf("infeasible deadline: status %d, want 429", code)
+	} else if hdr.Get("Retry-After") == "" {
+		t.Error("deadline 429 missing Retry-After")
+	}
+
+	// Abusive client: an oversized body gets a structured 413.
+	bigBody := `{"verilog":"` + strings.Repeat("x", 8192) + `"}`
+	if _, code, _ := submitJSON(t, d.base, bigBody); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", code)
+	}
+	// Slowloris: a connection that trickles headers is cut off by the
+	// header-read timeout instead of holding a slot forever.
+	slowlorisCutOff(t, d.base)
+
+	for cycle := 0; cycle < killCycles; cycle++ {
+		// Load up a slow job plus queued fast ones, then SIGKILL mid-run.
+		slow, code, _ := submitJSON(t, d.base, `{"bench":"b14a","options":{"depth":9,"max_assign":9}}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("cycle %d: slow submit status %d", cycle, code)
+		}
+		slowID := slow["id"].(string)
+		queued1, _, _ := submitJSON(t, d.base, `{"bench":"b04a","options":{"depth":7}}`)
+		queued2, _, _ := submitJSON(t, d.base, `{"bench":"b05a","options":{"depth":7}}`)
+		awaitState(t, d.base, slowID, "running")
+		d.kill(t)
+
+		// --- restart with -resume: the journal replay contract ------------
+
+		d = startDaemon(t, bin,
+			"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "16",
+			"-journal", journalPath, "-resume")
+		if !strings.Contains(d.out.String(), "journal replayed") {
+			t.Fatalf("cycle %d: restart did not announce a replay:\n%s", cycle, d.out.String())
+		}
+		// Done jobs: byte-identical reports.
+		for id, want := range doneReports {
+			final := awaitDone(t, d.base, id)
+			if final["status"] != "done" {
+				t.Fatalf("cycle %d: done job %s degraded to %v after replay", cycle, id, final["status"])
+			}
+			rep, _ := json.Marshal(final["report"])
+			if string(rep) != want {
+				t.Fatalf("cycle %d: job %s served different bytes after the crash", cycle, id)
+			}
+		}
+		// The mid-run job: failed honestly as interrupted, never stuck.
+		final := awaitDone(t, d.base, slowID)
+		if final["status"] != "failed" || !strings.Contains(fmt.Sprint(final["error"]), "interrupted") {
+			t.Fatalf("cycle %d: mid-run job after kill: %v (%v)", cycle, final["status"], final["error"])
+		}
+		// Queued jobs: resumed and completed (they may also have finished
+		// before the kill; done either way).
+		for _, doc := range []map[string]any{queued1, queued2} {
+			id, _ := doc["id"].(string)
+			if id == "" {
+				continue // refused during the pre-kill load spike: nothing to resume
+			}
+			f := awaitDone(t, d.base, id)
+			if f["status"] != "done" {
+				t.Fatalf("cycle %d: queued job %s not resumed: %v (%v)", cycle, id, f["status"], f["error"])
+			}
+			rep, _ := json.Marshal(f["report"])
+			doneReports[id] = string(rep)
+		}
+		assertNothingStuck(t, d.base)
+	}
+	d.kill(t)
+
+	// --- life N+1: poison input trips and recovers the quarantine ---------
+
+	// The poison submission uses non-default options so its cache key misses
+	// the journal-replayed results and every submission really executes
+	// (the fault is keyed on the module, the breaker on the fingerprint).
+	const poison = `{"bench":"b05a","options":{"depth":5}}`
+	d = startDaemon(t, bin,
+		"-addr", "127.0.0.1:0", "-workers", "1", "-journal", journalPath,
+		"-quarantine", "2", "-quarantine-ttl", "1s", "-faults", "job:b05a*3")
+	for i := 0; i < 2; i++ {
+		doc, code, _ := submitJSON(t, d.base, poison)
+		if code != http.StatusAccepted {
+			t.Fatalf("poison submit %d: status %d", i, code)
+		}
+		f := awaitDone(t, d.base, doc["id"].(string))
+		if f["status"] != "failed" {
+			t.Fatalf("poison job %d ended %v", i, f["status"])
+		}
+	}
+	qdoc, code, _ := submitJSON(t, d.base, poison)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined submit: status %d, want 422 (%v)", code, qdoc)
+	}
+	if qdoc["fingerprint"] == "" || qdoc["failures"].(float64) != 2 {
+		t.Fatalf("422 doc: %v", qdoc)
+	}
+	// Healthy inputs flow right past the quarantined one (this one is a
+	// replayed cache hit: 200, served without an execution).
+	hdoc, code, _ := submitJSON(t, d.base, `{"bench":"b03a"}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("healthy submit while quarantined: status %d", code)
+	}
+	awaitDone(t, d.base, hdoc["id"].(string))
+
+	// After the TTL the probe is admitted; one armed fault remains, so the
+	// first probe re-trips and the second (after another TTL) recovers.
+	recovered := false
+	for probe := 0; probe < 4 && !recovered; probe++ {
+		time.Sleep(1200 * time.Millisecond)
+		doc, code, _ := submitJSON(t, d.base, poison)
+		if code != http.StatusAccepted {
+			continue // still quarantined; next lap
+		}
+		f := awaitDone(t, d.base, doc["id"].(string))
+		recovered = f["status"] == "done"
+	}
+	if !recovered {
+		t.Fatal("breaker never recovered after the fault budget was spent")
+	}
+	assertNothingStuck(t, d.base)
+
+	// Graceful exit: SIGTERM drains and reports it.
+	d.term(t)
+}
+
+// daemon is one life of the wordidd subprocess under chaos.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	out  *lockedBuffer
+	done chan error
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{out: &lockedBuffer{}, done: make(chan error, 1)}
+	d.cmd = exec.Command(bin, args...)
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = os.Stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			d.out.Write(append(sc.Bytes(), '\n')) //nolint:errcheck // test buffer
+		}
+		d.done <- d.cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill() //nolint:errcheck // best-effort cleanup
+			<-d.done
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(d.out.String()); m != nil {
+			d.base = m[1]
+			return d
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", d.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — the crash the journal exists for.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-d.done
+}
+
+// term SIGTERMs the daemon and requires a clean drain.
+func (d *daemon) term(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !d.cmd.ProcessState.Success() {
+		t.Fatalf("daemon exited %v", d.cmd.ProcessState)
+	}
+	if !strings.Contains(d.out.String(), "drained") {
+		t.Errorf("shutdown did not report a drain:\n%s", d.out.String())
+	}
+}
+
+func submitJSON(t *testing.T, base, body string) (map[string]any, int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var doc map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("response %d is not JSON: %s", resp.StatusCode, raw)
+		}
+	}
+	return doc, resp.StatusCode, resp.Header
+}
+
+func pollJob(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll %s: status %d: %v", id, resp.StatusCode, doc)
+	}
+	return doc
+}
+
+// awaitDone polls until the job is terminal ("done" or "failed").
+func awaitDone(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		doc := pollJob(t, base, id)
+		if st := doc["status"]; st == "done" || st == "failed" {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %v", id, doc["status"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// awaitState polls until the job reaches the wanted state (or is already
+// past it, for fast machines where the "slow" job finishes first).
+func awaitState(t *testing.T, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		doc := pollJob(t, base, id)
+		st, _ := doc["status"].(string)
+		if st == want || st == "done" || st == "failed" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %q (at %q)", id, want, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertNothingStuck requires every job in the listing to be terminal once
+// the backlog settles: the "no stuck jobs" chaos invariant.
+func assertNothingStuck(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Jobs []struct {
+				ID     string `json:"id"`
+				Status string `json:"status"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending := 0
+		for _, j := range doc.Jobs {
+			if j.Status != "done" && j.Status != "failed" {
+				pending++
+			}
+		}
+		if pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs stuck non-terminal: %+v", pending, doc.Jobs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// slowlorisCutOff opens a raw connection, trickles an incomplete request,
+// and requires the server to cut it off (ReadHeaderTimeout) instead of
+// letting it hold a connection slot indefinitely.
+func slowlorisCutOff(t *testing.T, base string) {
+	t.Helper()
+	addr := strings.TrimPrefix(base, "http://")
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon arms a 5s ReadHeaderTimeout; allow slack for a loaded CI
+	// box, but far less than forever.
+	conn.SetReadDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck // deadline on a live conn
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		// A byte back means the server answered the malformed request —
+		// also fine, as long as the connection then dies.
+		_, err = conn.Read(buf)
+		if err == nil {
+			t.Error("slowloris connection still alive after response")
+		}
+	} else if !errRemoteClosed(err) {
+		t.Errorf("slowloris connection not cut off: %v", err)
+	}
+}
+
+func errRemoteClosed(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false // our own deadline fired: the server never cut us off
+	}
+	// EOF, ECONNRESET and friends all mean the server dropped us — the goal.
+	return true
+}

@@ -25,6 +25,8 @@ package guard
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -169,24 +171,87 @@ type plantKey struct {
 }
 
 var (
-	// armed counts outstanding plants; Inject's fast path is a single
+	// armed counts outstanding shots; Inject's fast path is a single
 	// atomic load of it, so production runs (zero plants) pay nothing else.
 	armed    atomic.Int32
 	plantsMu sync.Mutex
-	plants   = make(map[plantKey]bool)
+	plants   = make(map[plantKey]int) // key -> remaining shots
 )
 
 // Plant arms a one-shot fault at the named stage. group restricts the fault
 // to one adjacency group; AnyGroup fires on the first group to reach the
 // stage. Test-only: pair every Plant with a deferred Reset.
 func Plant(stage string, group int) {
+	PlantN(stage, group, 1)
+}
+
+// PlantN arms an n-shot fault: the first n Inject calls matching the stage
+// and group each panic, the n+1st passes. Re-planting an armed key replaces
+// its remaining count rather than accumulating, so arming is idempotent.
+// n <= 0 disarms the key. The chaos harness uses multi-shot plants to model
+// poison inputs that fail repeatedly and then recover (a breaker's half-open
+// probe succeeding after the fault budget is spent).
+func PlantN(stage string, group, n int) {
 	plantsMu.Lock()
 	defer plantsMu.Unlock()
 	k := plantKey{stage: stage, group: group}
-	if !plants[k] {
-		plants[k] = true
-		armed.Add(1)
+	armed.Add(int32(n - plants[k]))
+	if n <= 0 {
+		delete(plants, k)
+		return
 	}
+	plants[k] = n
+}
+
+// PlantSpec arms faults from a comma-separated spec, the form the wordidd
+// chaos harness passes through a CLI flag into the daemon process:
+//
+//	spec    = entry { "," entry }
+//	entry   = stage [ "@" group ] [ "*" count ]
+//
+// stage is any injection-point name (pipeline stages like "trial", or the
+// service's per-job points like "job:b05a"); group defaults to AnyGroup
+// ("*" is also accepted explicitly); count defaults to 1. Example:
+//
+//	"job:b05a*3,trial@2"
+//
+// arms three panics for every job whose module is b05a plus one panic in
+// adjacency group 2's trial stage.
+func PlantSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		stage, count := entry, 1
+		// A trailing "*<digits>" is the count; a bare "@*" is the group
+		// wildcard, so the count suffix must actually parse as a number.
+		if i := strings.LastIndexByte(stage, '*'); i >= 0 && stage[i+1:] != "" {
+			if n, err := strconv.Atoi(stage[i+1:]); err == nil {
+				if n < 1 {
+					return fmt.Errorf("guard: bad fault count in %q", entry)
+				}
+				stage, count = stage[:i], n
+			}
+		}
+		group := AnyGroup
+		if i := strings.LastIndexByte(stage, '@'); i >= 0 {
+			g := stage[i+1:]
+			if g != "*" {
+				n, err := strconv.Atoi(g)
+				if err != nil {
+					return fmt.Errorf("guard: bad group in %q", entry)
+				}
+				group = n
+			}
+			stage = stage[:i]
+		}
+		if stage == "" || strings.ContainsAny(stage, "*@") {
+			return fmt.Errorf("guard: bad stage in %q", entry)
+		}
+		PlantN(stage, group, count)
+	}
+	return nil
 }
 
 // Reset disarms every planted fault (test cleanup).
@@ -199,7 +264,7 @@ func Reset() {
 	armed.Store(0)
 }
 
-// Planted returns the number of armed faults.
+// Planted returns the number of armed shots across all planted faults.
 func Planted() int { return int(armed.Load()) }
 
 // Inject fires a matching armed fault: it panics with an InjectedPanic if
@@ -220,8 +285,12 @@ func fire(stage string, group int) bool {
 	plantsMu.Lock()
 	defer plantsMu.Unlock()
 	for _, k := range [2]plantKey{{stage, group}, {stage, AnyGroup}} {
-		if plants[k] {
-			delete(plants, k)
+		if n := plants[k]; n > 0 {
+			if n == 1 {
+				delete(plants, k)
+			} else {
+				plants[k] = n - 1
+			}
 			armed.Add(-1)
 			return true
 		}

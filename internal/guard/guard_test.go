@@ -162,3 +162,81 @@ func TestRescueNilHandlerContains(t *testing.T) {
 		panic("contained")
 	}()
 }
+
+// mustPanic asserts fn panics with an InjectedPanic.
+func mustPanic(t *testing.T, stage string, group int) {
+	t.Helper()
+	defer func() {
+		if v := recover(); v == nil {
+			t.Fatalf("Inject(%q, %d) did not fire", stage, group)
+		}
+	}()
+	Inject(stage, group)
+}
+
+func TestPlantNFiresExactly(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	PlantN("job:b06a", AnyGroup, 3)
+	if Planted() != 3 {
+		t.Fatalf("Planted() = %d, want 3 shots", Planted())
+	}
+	for i := 0; i < 3; i++ {
+		mustPanic(t, "job:b06a", AnyGroup)
+	}
+	// The fourth call passes: the fault budget is spent.
+	Inject("job:b06a", AnyGroup)
+	if Planted() != 0 {
+		t.Fatalf("Planted() = %d after firing all shots, want 0", Planted())
+	}
+}
+
+func TestPlantNReplacesAndDisarms(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	PlantN("trial", 1, 5)
+	PlantN("trial", 1, 2) // replace, not accumulate
+	if Planted() != 2 {
+		t.Fatalf("Planted() = %d after re-plant, want 2", Planted())
+	}
+	PlantN("trial", 1, 0) // disarm
+	if Planted() != 0 {
+		t.Fatalf("Planted() = %d after disarm, want 0", Planted())
+	}
+	Inject("trial", 1)
+}
+
+func TestPlantSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := PlantSpec("job:b06a*3, trial@2, match@*"); err != nil {
+		t.Fatal(err)
+	}
+	if Planted() != 5 {
+		t.Fatalf("Planted() = %d, want 5 shots", Planted())
+	}
+	mustPanic(t, "job:b06a", AnyGroup)
+	mustPanic(t, "trial", 2)
+	mustPanic(t, "match", 7) // AnyGroup wildcard
+	Inject("trial", 3)       // group 3 not armed
+	if Planted() != 2 {
+		t.Fatalf("Planted() = %d, want 2 remaining b06a shots", Planted())
+	}
+}
+
+func TestPlantSpecErrors(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{"trial*x", "trial*0", "trial@x", "@3", "*2"} {
+		if err := PlantSpec(spec); err == nil {
+			t.Errorf("PlantSpec(%q) accepted", spec)
+		}
+	}
+	if err := PlantSpec(""); err != nil { // empty spec is a no-op
+		t.Errorf("empty spec rejected: %v", err)
+	}
+	Reset()
+	if Planted() != 0 {
+		t.Fatalf("Planted() = %d after Reset", Planted())
+	}
+}

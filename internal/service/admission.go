@@ -1,0 +1,96 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// admission is the server's overload-control state: an exponentially
+// weighted moving average of per-job pipeline latency, observed on every
+// execution (success, failure, or deadline expiry — all of them occupied a
+// worker). The EWMA feeds three decisions, all made at submission time under
+// the server mutex:
+//
+//   - deadline-aware queueing: a job whose own deadline cannot be met given
+//     the current backlog (queue depth × EWMA ÷ workers, plus its own
+//     estimated run) is refused with 429 immediately, instead of occupying a
+//     queue slot only to time out after waiting;
+//   - cost-based load shedding: once the queue is at least half full, jobs
+//     whose gate count exceeds Config.ShedGates are refused with 429 —
+//     under pressure the cheap majority is worth more than one heavy tail;
+//   - Retry-After accuracy: 429/503 responses carry the estimated queue
+//     drain time, so well-behaved clients back off for exactly as long as
+//     the backlog warrants.
+//
+// The zero value means "no observation yet": deadline admission is skipped
+// (there is nothing to estimate from) and Retry-After falls back to 1s.
+type admission struct {
+	ewmaMS float64
+}
+
+// ewmaAlpha weights the newest observation: ~20% new, ~80% history, so a
+// burst of atypical jobs bends the estimate without whipsawing it.
+const ewmaAlpha = 0.2
+
+func (a *admission) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000
+	if a.ewmaMS == 0 {
+		a.ewmaMS = ms
+		return
+	}
+	a.ewmaMS = ewmaAlpha*ms + (1-ewmaAlpha)*a.ewmaMS
+}
+
+// latencyMS returns the current estimate (0 until the first observation).
+func (a *admission) latencyMS() float64 { return a.ewmaMS }
+
+// retryAfterSeconds estimates how long the current backlog takes to drain:
+// the Retry-After value for refused submissions. At least 1, at most 3600.
+func (a *admission) retryAfterSeconds(backlog, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	ms := a.ewmaMS * float64(backlog) / float64(workers)
+	secs := int((ms + 999) / 1000)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 3600 {
+		return 3600
+	}
+	return secs
+}
+
+// admitLocked decides whether a fresh primary job may join the queue, given
+// the current backlog. Caller holds the server mutex. A nil return admits.
+func (s *Server) admitLocked(job *Job, gates int) *submitError {
+	backlog := len(s.queue)
+	// Deadline feasibility: estimated wait for a slot plus the job's own
+	// estimated run must fit inside its deadline. Skipped until the EWMA has
+	// an observation — refusing on no evidence would be load shedding by
+	// superstition.
+	if ewma := s.adm.latencyMS(); ewma > 0 && job.timeout > 0 {
+		estStartMS := ewma * float64(backlog) / float64(s.cfg.Workers)
+		deadlineMS := float64(job.timeout.Milliseconds())
+		if estStartMS+ewma > deadlineMS {
+			return &submitError{
+				status: 429,
+				msg: fmt.Sprintf(
+					"deadline %dms cannot be met: ~%.0fms queue wait + ~%.0fms estimated run (%d queued, EWMA over %d workers)",
+					int64(deadlineMS), estStartMS, ewma, backlog, s.cfg.Workers),
+				retryAfter: s.adm.retryAfterSeconds(backlog, s.cfg.Workers),
+			}
+		}
+	}
+	// Cost-based shedding: heavy jobs are refused once the queue is at
+	// least half full. Light jobs keep flowing until the queue itself fills.
+	if s.cfg.ShedGates > 0 && gates > s.cfg.ShedGates && 2*backlog >= s.cfg.QueueDepth {
+		return &submitError{
+			status: 429,
+			msg: fmt.Sprintf("shedding heavy job (%d gates > %d) under load (%d/%d queued)",
+				gates, s.cfg.ShedGates, backlog, s.cfg.QueueDepth),
+			retryAfter: s.adm.retryAfterSeconds(backlog, s.cfg.Workers),
+		}
+	}
+	return nil
+}

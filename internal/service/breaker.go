@@ -1,0 +1,169 @@
+package service
+
+import "time"
+
+// breaker is the poison-input quarantine: a circuit breaker keyed on the
+// design's canonical fingerprint (netlist.Fingerprint), so a netlist that
+// keeps killing workers — panicking pipelines, deadline-burning SAT tails,
+// trojan-trigger-shaped pathologies — is refused with a structured 422
+// carrying its prior failure instead of re-burning a worker on every
+// resubmission.
+//
+// Per-fingerprint state machine:
+//
+//	counting --(strikes == threshold)--> open --(TTL elapses)--> half-open
+//	   ^                                  ^                          |
+//	   |                                  +----- probe fails --------+
+//	   +------------- any success (probe or counting run) deletes the entry
+//
+// Strikes are consecutive executions of the fingerprint that panicked or
+// expired their deadline; any clean completion resets by deleting the entry.
+// While open, every submission is refused. After QuarantineTTL the breaker
+// goes half-open: exactly one probe submission is admitted (and executed);
+// its success closes the breaker, its failure re-trips a fresh TTL.
+// Duplicate submissions while the probe is in flight stay refused.
+//
+// The breaker is not internally locked: the Server owns it and every access
+// happens under the Server's mutex, like the result cache.
+type breaker struct {
+	threshold int
+	ttl       time.Duration
+	now       func() time.Time // injectable for TTL tests
+	entries   map[string]*breakerEntry
+	order     []string // insertion order, for bounded eviction
+}
+
+type breakerEntry struct {
+	strikes  int    // consecutive failures so far
+	failures int    // lifetime failures, served in the 422 document
+	lastErr  string // most recent failure, served in the 422 document
+	open     bool
+	probing  bool // half-open: the one allowed probe is in flight
+	tripped  time.Time
+}
+
+// breakerMaxEntries caps the tracked-fingerprint set: strikes are only
+// interesting for inputs a client keeps resubmitting, so evicting the
+// oldest entry under pressure loses at worst a stale count.
+const breakerMaxEntries = 4096
+
+func newBreaker(threshold int, ttl time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		ttl:       ttl,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// QuarantineStatus is the structured 422 payload for a quarantined
+// fingerprint: what failed before, how often, and when a retry could be
+// admitted as the half-open probe.
+type QuarantineStatus struct {
+	Error        string `json:"error"`
+	Fingerprint  string `json:"fingerprint"`
+	Failures     int    `json:"failures"`
+	LastError    string `json:"last_error"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// refuse reports whether a submission of fp must be quarantined, returning
+// the 422 document if so. It does not mutate state: the caller commits the
+// half-open probe with beginProbe only once the job is actually admitted
+// (a submission shed for other reasons must not consume the probe).
+func (b *breaker) refuse(fp string) *QuarantineStatus {
+	if b == nil {
+		return nil
+	}
+	e := b.entries[fp]
+	if e == nil || !e.open {
+		return nil
+	}
+	remaining := e.tripped.Add(b.ttl).Sub(b.now())
+	if remaining <= 0 && !e.probing {
+		return nil // TTL elapsed: the next admitted job is the probe
+	}
+	if remaining < 0 {
+		remaining = 0 // probe already in flight; retry once it resolves
+	}
+	return &QuarantineStatus{
+		Error:        "input quarantined after repeated failures: " + e.lastErr,
+		Fingerprint:  fp,
+		Failures:     e.failures,
+		LastError:    e.lastErr,
+		RetryAfterMS: remaining.Milliseconds(),
+	}
+}
+
+// beginProbe marks fp's half-open probe as in flight, if fp is open with an
+// elapsed TTL. Called once the probe submission is committed to the queue.
+func (b *breaker) beginProbe(fp string) {
+	if b == nil {
+		return
+	}
+	if e := b.entries[fp]; e != nil && e.open && !e.probing && !b.now().Before(e.tripped.Add(b.ttl)) {
+		e.probing = true
+	}
+}
+
+// strike records one failed execution (panic or expired deadline) of fp and
+// reports whether this strike tripped (or re-tripped) the breaker.
+func (b *breaker) strike(fp, msg string) bool {
+	if b == nil || fp == "" {
+		return false
+	}
+	e := b.entries[fp]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[fp] = e
+		b.order = append(b.order, fp)
+		b.evict()
+	}
+	e.failures++
+	e.lastErr = msg
+	if e.open {
+		// Only the half-open probe reaches execution while open; its failure
+		// re-trips a fresh TTL.
+		e.probing = false
+		e.tripped = b.now()
+		return true
+	}
+	e.strikes++
+	if e.strikes >= b.threshold {
+		e.open = true
+		e.tripped = b.now()
+		return true
+	}
+	return false
+}
+
+// succeed records one clean completion of fp, closing its breaker entirely.
+func (b *breaker) succeed(fp string) {
+	if b == nil || fp == "" {
+		return
+	}
+	if _, ok := b.entries[fp]; !ok {
+		return
+	}
+	delete(b.entries, fp)
+	// order keeps the stale key; evict skips keys no longer in the map.
+}
+
+func (b *breaker) evict() {
+	for len(b.entries) > breakerMaxEntries && len(b.order) > 0 {
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		delete(b.entries, oldest)
+	}
+	// Compact order lazily once stale keys dominate, so succeed() churn
+	// cannot grow it without bound.
+	if len(b.order) > 2*breakerMaxEntries {
+		live := b.order[:0]
+		for _, k := range b.order {
+			if _, ok := b.entries[k]; ok {
+				live = append(live, k)
+			}
+		}
+		b.order = live
+	}
+}

@@ -15,6 +15,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key    string
+	origin string // ID of the job whose execution produced the report
 	report []byte
 }
 
@@ -28,25 +29,28 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-func (c *resultCache) get(key string) ([]byte, bool) {
+func (c *resultCache) get(key string) (origin string, report []byte, ok bool) {
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return "", nil, false
 	}
 	c.recency.MoveToFront(el)
-	return el.Value.(*cacheEntry).report, true
+	e := el.Value.(*cacheEntry)
+	return e.origin, e.report, true
 }
 
-func (c *resultCache) put(key string, report []byte) {
+func (c *resultCache) put(key, origin string, report []byte) {
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).report = report
+		e := el.Value.(*cacheEntry)
+		e.origin = origin
+		e.report = report
 		c.recency.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.recency.PushFront(&cacheEntry{key: key, report: report})
+	c.byKey[key] = c.recency.PushFront(&cacheEntry{key: key, origin: origin, report: report})
 	for c.recency.Len() > c.cap {
 		oldest := c.recency.Back()
 		c.recency.Remove(oldest)

@@ -5,8 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-
-	"gatewords"
+	"strconv"
 )
 
 // SubmitRequest is the POST /v1/jobs body: exactly one of Verilog (inline
@@ -64,10 +63,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503 with
+// {"state":"draining"} from the moment shutdown begins until the process
+// exits, so load balancers stop routing new work while in-flight jobs drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"state": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": "ready"})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -76,19 +84,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error":       fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				"limit_bytes": tooBig.Limit,
+			})
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	d, err := parseSubmission(req)
+	src := Source{Bench: req.Bench, Verilog: req.Verilog, Top: req.Top}
+	d, err := parseSource(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, err := s.Submit(d, req.Options)
+	job, err := s.SubmitSource(d, req.Options, src)
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
-			writeError(w, se.status, "%s", se.msg)
+			if se.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(se.retryAfter))
+			}
+			if se.doc != nil {
+				writeJSON(w, se.status, se.doc)
+			} else {
+				writeError(w, se.status, "%s", se.msg)
+			}
 		} else {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
@@ -102,27 +126,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
-}
-
-// parseSubmission loads the submitted design: inline Verilog (flattened, or
-// hierarchical when Top names the root module) or a generated benchmark.
-func parseSubmission(req SubmitRequest) (*gatewords.Design, error) {
-	switch {
-	case req.Verilog != "" && req.Bench != "":
-		return nil, fmt.Errorf("submit exactly one of verilog or bench, not both")
-	case req.Verilog != "":
-		if req.Top != "" {
-			return gatewords.ParseVerilogHierarchy("request.v", req.Verilog, req.Top)
-		}
-		return gatewords.ParseVerilogString("request.v", req.Verilog)
-	case req.Bench != "":
-		if req.Top != "" {
-			return nil, fmt.Errorf("top applies only to verilog submissions")
-		}
-		return gatewords.GenerateBenchmark(req.Bench)
-	default:
-		return nil, fmt.Errorf("submit one of verilog or bench")
-	}
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {

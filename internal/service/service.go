@@ -32,6 +32,8 @@ import (
 
 	"gatewords"
 	"gatewords/internal/guard"
+	"gatewords/internal/obs"
+	"gatewords/internal/service/journal"
 )
 
 // Config sizes the server. The zero value is serviceable: GOMAXPROCS
@@ -57,6 +59,25 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxRequestBytes bounds a submission body (<= 0 selects 32 MiB).
 	MaxRequestBytes int64
+	// ShedGates is the cost-based load-shedding threshold: once the queue is
+	// at least half full, fresh submissions whose designs exceed this many
+	// gates are refused with 429 (0 disables shedding).
+	ShedGates int
+	// QuarantineFailures trips the poison-input breaker: that many
+	// consecutive failed executions (panic or expired deadline) of one
+	// fingerprint quarantine it (0 selects 3, negative disables quarantine).
+	QuarantineFailures int
+	// QuarantineTTL is how long a tripped fingerprint stays refused before
+	// the breaker goes half-open and admits one probe (<= 0 selects 1m).
+	QuarantineTTL time.Duration
+	// JournalPath, when set, appends every job lifecycle transition to a
+	// checksummed write-ahead log at that path and replays it at startup, so
+	// a crashed daemon comes back serving its terminal jobs byte-identically
+	// and reporting interrupted ones honestly.
+	JournalPath string
+	// Resume re-enqueues journal-queued jobs at startup instead of marking
+	// them interrupted. Only meaningful with JournalPath.
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +92,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 32 << 20
+	}
+	if c.QuarantineFailures == 0 {
+		c.QuarantineFailures = 3
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = time.Minute
 	}
 	return c
 }
@@ -176,6 +203,9 @@ func cacheKey(fingerprint string, o JobOptions) string {
 type Job struct {
 	ID  string
 	Key string
+	// Fingerprint is the design's canonical netlist fingerprint — the
+	// quarantine breaker's key.
+	Fingerprint string
 	// Module is the design's module name (the bench profile name for bench
 	// submissions).
 	Module string
@@ -224,6 +254,26 @@ type Counters struct {
 	// escapes from runJob's bookkeeping, which executeJob's own pipeline
 	// boundary does not cover. Each one failed a job but kept its worker.
 	WorkerPanics int64 `json:"worker_panics"`
+	// JobsShed counts submissions refused by admission control: deadlines
+	// that could not be met given the backlog, and heavy jobs refused under
+	// load (both 429; JobsRejected stays the queue-full 503 count).
+	JobsShed int64 `json:"jobs_shed"`
+	// QuarantineTrips counts breaker trips (including half-open probes that
+	// failed and re-tripped); QuarantineRejections counts submissions
+	// refused with 422 while their fingerprint was quarantined.
+	QuarantineTrips        int64 `json:"quarantine_trips"`
+	QuarantineRejections   int64 `json:"quarantine_rejections"`
+	QuarantineFingerprints int64 `json:"quarantine_fingerprints"`
+	// JournalReplays counts jobs restored or resumed from the journal at
+	// startup; JournalTornRecords counts corrupt tail records discarded;
+	// JournalErrors counts append failures (jobs proceed regardless).
+	JournalReplays     int64 `json:"journal_replays"`
+	JournalTornRecords int64 `json:"journal_torn_records"`
+	JournalErrors      int64 `json:"journal_errors"`
+	// JobLatencyEWMAMS is the admission controller's moving average of
+	// per-job pipeline latency in milliseconds — the gauge behind
+	// deadline-aware queueing and Retry-After estimates.
+	JobLatencyEWMAMS float64 `json:"job_latency_ewma_ms"`
 }
 
 // Server is the identification daemon: job store, worker pool, result
@@ -238,13 +288,21 @@ type Server struct {
 	// against running jobs.
 	observer *gatewords.Observer
 
+	// journal is the durable lifecycle log (nil without Config.JournalPath).
+	// It has its own leaf lock; appends from under mu are plain file I/O.
+	journal  *journal.Journal
+	recovery RecoveryReport
+
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	seq      int64
 	jobs     map[string]*Job
 	order    []string        // submission order, for listing
 	inflight map[string]*Job // key -> primary queued/running job
 	cache    *resultCache
+	breaker  *breaker  // nil when quarantine is disabled
+	adm      admission // overload-control state
 	counters Counters
 
 	// testJobGate, when non-nil, makes every worker receive one value
@@ -252,8 +310,9 @@ type Server struct {
 	testJobGate chan struct{}
 }
 
-// New starts a server and its worker pool. Stop it with Close.
-func New(cfg Config) *Server {
+// New starts a server and its worker pool, replaying the journal first when
+// Config.JournalPath is set. Stop it with Close.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -262,6 +321,19 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		cache:    newResultCache(cfg.CacheEntries),
+	}
+	if cfg.QuarantineFailures > 0 {
+		s.breaker = newBreaker(cfg.QuarantineFailures, cfg.QuarantineTTL)
+	}
+	if cfg.JournalPath != "" {
+		j, records, torn, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening journal: %w", err)
+		}
+		s.journal = j
+		// Replay before the workers start: resumed jobs land in the queue
+		// with no worker racing the rebuild of the store.
+		s.replayJournal(records, torn)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -280,7 +352,23 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, nil
+}
+
+// StartDraining moves the server into drain: /healthz reports draining and
+// new submissions are refused with 503, while polls keep being served so
+// clients can collect results until Close finishes the backlog.
+func (s *Server) StartDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Close stops admissions, drains the queued jobs through the pool, and
@@ -296,6 +384,9 @@ func (s *Server) Close() {
 	close(s.queue) // all sends hold mu and check closed first
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.Close() //nolint:errcheck // every record is already appended
+	}
 }
 
 // effectiveTimeout normalizes a job's requested deadline against the
@@ -312,40 +403,73 @@ func (s *Server) effectiveTimeout(requested time.Duration) time.Duration {
 }
 
 // submitError is a client-visible admission failure with an HTTP status.
+// retryAfter > 0 becomes a Retry-After header; a non-nil doc replaces the
+// default {"error": msg} body (the quarantine 422 document).
 type submitError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
+	doc        any
 }
 
 func (e *submitError) Error() string { return e.msg }
 
-// Submit admits one parsed design as a job. The design must not be mutated
-// by the caller afterwards. The returned job is already terminal for cache
-// hits (State done, Cached set).
+// Submit admits one parsed design as a job. Equivalent to SubmitSource with
+// no re-parseable source: with a journal configured, such a job cannot be
+// resumed after a crash, only reported as interrupted.
 func (s *Server) Submit(d *gatewords.Design, opts JobOptions) (*Job, error) {
+	return s.SubmitSource(d, opts, Source{})
+}
+
+// SubmitSource admits one parsed design as a job, journaling src alongside
+// the accepted record so Config.Resume can re-enqueue it after a crash. The
+// design must not be mutated by the caller afterwards. The returned job is
+// already terminal for cache hits (State done, Cached set).
+//
+// Admission runs in one critical section, in deliberate order: cache hits
+// and coalescing first (they consume no worker, so overload must not refuse
+// them), then the quarantine breaker (a poison input is refused before it
+// can occupy a queue slot), then admission control (deadline feasibility and
+// cost shedding), then the bounded queue itself.
+func (s *Server) SubmitSource(d *gatewords.Design, opts JobOptions, src Source) (*Job, error) {
 	if _, err := opts.lintMode(); err != nil {
 		return nil, &submitError{status: 400, msg: err.Error()}
 	}
 	timeout := s.effectiveTimeout(time.Duration(opts.TimeoutMS) * time.Millisecond)
 	opts.TimeoutMS = timeout.Milliseconds()
-	key := cacheKey(d.Fingerprint(), opts)
+	fp := d.Fingerprint()
+	key := cacheKey(fp, opts)
+	gates := d.Stats().Gates
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, &submitError{status: 503, msg: "server is shutting down"}
 	}
+	if s.draining {
+		return nil, &submitError{status: 503, msg: "server is draining", retryAfter: 1}
+	}
 	s.seq++
 	job := &Job{
-		ID:      fmt.Sprintf("job-%06d", s.seq),
-		Key:     key,
-		Module:  d.Name(),
-		Done:    make(chan struct{}),
-		opts:    opts,
-		timeout: timeout,
+		ID:          fmt.Sprintf("job-%06d", s.seq),
+		Key:         key,
+		Fingerprint: fp,
+		Module:      d.Name(),
+		Done:        make(chan struct{}),
+		opts:        opts,
+		timeout:     timeout,
+	}
+	accepted := acceptedData{
+		Key:         key,
+		Fingerprint: fp,
+		Module:      job.Module,
+		Opts:        opts,
+		Bench:       src.Bench,
+		Verilog:     src.Verilog,
+		Top:         src.Top,
 	}
 
-	if report, ok := s.cache.get(key); ok {
+	if origin, report, ok := s.cache.get(key); ok {
 		job.State = StateDone
 		job.Cached = true
 		job.Report = report
@@ -353,6 +477,11 @@ func (s *Server) Submit(d *gatewords.Design, opts JobOptions) (*Job, error) {
 		s.counters.CacheHits++
 		s.registerLocked(job)
 		s.counters.JobsDone++
+		accepted.Cached = true
+		s.journalAppendLocked(job.ID, "accepted", accepted)
+		// The report bytes already live in the origin job's done record;
+		// reference them instead of re-journaling them per hit.
+		s.journalAppendLocked(job.ID, "done", doneData{Primary: origin})
 		return job, nil
 	}
 	if primary, ok := s.inflight[key]; ok {
@@ -361,7 +490,25 @@ func (s *Server) Submit(d *gatewords.Design, opts JobOptions) (*Job, error) {
 		primary.waiters = append(primary.waiters, job)
 		s.counters.JobsCoalesced++
 		s.registerLocked(job)
+		accepted.Coalesced = primary.ID
+		s.journalAppendLocked(job.ID, "accepted", accepted)
 		return job, nil
+	}
+	if qs := s.breaker.refuse(fp); qs != nil {
+		s.seq--
+		s.counters.QuarantineRejections++
+		return nil, &submitError{
+			status:     422,
+			msg:        qs.Error,
+			retryAfter: int((qs.RetryAfterMS + 999) / 1000),
+			doc:        qs,
+		}
+	}
+	if se := s.admitLocked(job, gates); se != nil {
+		s.seq--
+		s.counters.JobsShed++
+		s.observer.AddCounter(obs.CtrJobsShed, 1)
+		return nil, se
 	}
 	// First sighting of this key: a real execution. Admission and the
 	// enqueue are one critical section, so the queue can never hold a job
@@ -374,14 +521,18 @@ func (s *Server) Submit(d *gatewords.Design, opts JobOptions) (*Job, error) {
 		s.seq-- // the job was never admitted
 		s.counters.JobsRejected++
 		return nil, &submitError{
-			status: 503,
-			msg:    fmt.Sprintf("job queue full (%d pending)", cap(s.queue)),
+			status:     503,
+			msg:        fmt.Sprintf("job queue full (%d pending)", cap(s.queue)),
+			retryAfter: s.adm.retryAfterSeconds(len(s.queue), s.cfg.Workers),
 		}
 	}
+	// Committed: if this fingerprint was half-open, this job is its probe.
+	s.breaker.beginProbe(fp)
 	s.counters.CacheMisses++
 	s.counters.JobsQueued++
 	s.inflight[key] = job
 	s.registerLocked(job)
+	s.journalAppendLocked(job.ID, "accepted", accepted)
 	return job, nil
 }
 
@@ -431,6 +582,10 @@ func (s *Server) failJobAfterPanic(job *Job, f *guard.GroupFailure) {
 		s.counters.JobsQueued--
 	}
 	msg := fmt.Sprintf("worker panicked at stage %q: %s", f.Stage, f.Message)
+	if s.breaker.strike(job.Fingerprint, msg) {
+		s.counters.QuarantineTrips++
+		s.observer.AddCounter(obs.CtrQuarantineTrips, 1)
+	}
 	terminalize := func(j *Job) {
 		if j.State == StateDone || j.State == StateFailed {
 			return
@@ -439,6 +594,7 @@ func (s *Server) failJobAfterPanic(job *Job, f *guard.GroupFailure) {
 		j.Err = msg
 		s.counters.JobsFailed++
 		j.design = nil
+		s.journalAppendLocked(j.ID, "failed", failedData{Error: msg})
 		close(j.Done)
 	}
 	terminalize(job)
@@ -462,9 +618,12 @@ func (s *Server) runJob(job *Job) {
 		s.counters.JobsRunning++
 		s.counters.PipelineRuns++
 	}()
+	s.journalAppend(job.ID, "running", nil)
 
 	observer := gatewords.NewObserver()
+	start := time.Now()
 	report, interrupted, err := executeJob(job, observer)
+	elapsed := time.Since(start)
 
 	// The per-job recorder merges whether the job succeeded or failed — a
 	// failing job's observability is exactly when /metrics matters.
@@ -472,12 +631,43 @@ func (s *Server) runJob(job *Job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Every execution outcome feeds the latency EWMA: failed and
+	// deadline-expired runs occupied a worker just the same.
+	s.adm.observe(elapsed)
 	s.counters.JobsRunning--
 	delete(s.inflight, job.Key)
+	if err != nil || interrupted {
+		// A panic or an expired deadline is a quarantine strike against the
+		// input; enough consecutive ones trip its breaker.
+		msg := "deadline expired"
+		if err != nil {
+			msg = err.Error()
+		}
+		if s.breaker.strike(job.Fingerprint, msg) {
+			s.counters.QuarantineTrips++
+			s.observer.AddCounter(obs.CtrQuarantineTrips, 1)
+		}
+	} else {
+		s.breaker.succeed(job.Fingerprint)
+	}
 	if err == nil && !interrupted {
 		// Interrupted (deadline-truncated) reports are wall-clock artifacts,
 		// not properties of the design; they are served but never cached.
-		s.cache.put(job.Key, report)
+		s.cache.put(job.Key, job.ID, report)
+	}
+	// Journal the terminal transitions before finishLocked closes the Done
+	// channels: a client that has seen a result must find it after a crash.
+	if err != nil {
+		s.journalAppendLocked(job.ID, "failed", failedData{Error: err.Error()})
+	} else {
+		s.journalAppendLocked(job.ID, "done", doneData{Report: report, Interrupted: interrupted})
+	}
+	for _, w := range job.waiters {
+		if err != nil {
+			s.journalAppendLocked(w.ID, "failed", failedData{Error: err.Error()})
+		} else {
+			s.journalAppendLocked(w.ID, "done", doneData{Primary: job.ID, Interrupted: interrupted})
+		}
 	}
 	s.finishLocked(job, report, interrupted, err)
 	for _, w := range job.waiters {
@@ -505,6 +695,9 @@ func executeJob(job *Job, observer *gatewords.Observer) (report []byte, interrup
 	if err != nil {
 		return nil, false, err
 	}
+	// Per-input fault injection point for the chaos harness: a plant keyed
+	// "job:<module>" models a poison input that panics on execution.
+	guard.Inject("job:"+job.Module, guard.AnyGroup)
 	start := time.Now()
 	rep, err := gatewords.Identify(job.design, fo)
 	if err != nil {
@@ -543,6 +736,10 @@ func (s *Server) Metrics() (Counters, *gatewords.Observer) {
 	s.mu.Lock()
 	c := s.counters
 	c.CacheEntries = int64(s.cache.len())
+	c.JobLatencyEWMAMS = s.adm.latencyMS()
+	if s.breaker != nil {
+		c.QuarantineFingerprints = int64(len(s.breaker.entries))
+	}
 	s.mu.Unlock()
 	return c, s.observer.Snapshot()
 }

@@ -14,10 +14,20 @@ import (
 	"gatewords/internal/report"
 )
 
+// mustNew starts a server, failing the test on construction errors.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // newTestServer starts a server + HTTP front end and registers cleanup.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -250,7 +260,7 @@ func TestDifferentOptionsMissCache(t *testing.T) {
 // TestCoalescing pins in-flight dedupe: a duplicate of a job that is still
 // queued attaches to it and shares its single pipeline execution.
 func TestCoalescing(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	s.testJobGate = make(chan struct{})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
@@ -287,7 +297,7 @@ func TestCoalescing(t *testing.T) {
 // TestQueueFullRejected pins bounded admission: with the one worker held
 // and the queue full, the next submission is refused with 503.
 func TestQueueFullRejected(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	s.testJobGate = make(chan struct{})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
@@ -523,27 +533,27 @@ func TestListJobs(t *testing.T) {
 // TestCacheLRUEviction pins the eviction policy at the unit level.
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
-	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+	c.put("a", "job-a", []byte("A"))
+	c.put("b", "job-b", []byte("B"))
+	if _, _, ok := c.get("a"); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("C"))
-	if _, ok := c.get("b"); ok {
+	c.put("c", "job-c", []byte("C"))
+	if _, _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
-	if v, ok := c.get("a"); !ok || string(v) != "A" {
+	if origin, v, ok := c.get("a"); !ok || string(v) != "A" || origin != "job-a" {
 		t.Error("a lost")
 	}
-	if v, ok := c.get("c"); !ok || string(v) != "C" {
+	if origin, v, ok := c.get("c"); !ok || string(v) != "C" || origin != "job-c" {
 		t.Error("c lost")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
 	disabled := newResultCache(-1)
-	disabled.put("x", []byte("X"))
-	if _, ok := disabled.get("x"); ok || disabled.len() != 0 {
+	disabled.put("x", "job-x", []byte("X"))
+	if _, _, ok := disabled.get("x"); ok || disabled.len() != 0 {
 		t.Error("disabled cache stored an entry")
 	}
 }
@@ -551,7 +561,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // TestSubmitAfterClose pins shutdown admission: a closed server refuses
 // new jobs with 503.
 func TestSubmitAfterClose(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	s.Close()
@@ -564,7 +574,7 @@ func TestSubmitAfterClose(t *testing.T) {
 // TestSubmitDirect exercises the library-level Submit entry point, which
 // cmd/wordidd shares with the HTTP layer.
 func TestSubmitDirect(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 	d, err := gatewords.GenerateBenchmark("b03a")
 	if err != nil {
@@ -592,7 +602,7 @@ func TestSubmitDirect(t *testing.T) {
 // The per-job rescue must fail the job's coalesced waiters, repair the
 // counters, and leave the server serving.
 func TestRunJobGuardedRecoversWorkerPanic(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 
 	waiter := &Job{ID: "job-w", Key: "poison", State: StateQueued, Done: make(chan struct{})}
@@ -629,7 +639,7 @@ func TestRunJobGuardedRecoversWorkerPanic(t *testing.T) {
 // TestFailJobAfterPanic covers the repair helper in isolation: counters for
 // each pre-panic state, inflight cleanup, and terminal-state idempotence.
 func TestFailJobAfterPanic(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 
 	running := &Job{ID: "job-r", Key: "kr", State: StateRunning, Done: make(chan struct{})}
